@@ -1,0 +1,15 @@
+"""Ablation A1 — cross-boundary strategy versus concatenation-based queries."""
+
+from repro.experiments.ablations import cross_boundary_ablation_rows
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_ablation_cross_boundary(benchmark, quick_config):
+    rows = run_once(
+        benchmark, lambda: cross_boundary_ablation_rows("NY", quick_config)
+    )
+    print_experiment("Ablation A1 — cross-boundary strategy", rows)
+    by_stage = {row["query_stage"]: row["mean_query_seconds"] for row in rows}
+    assert by_stage["cross_boundary (2-hop)"] < by_stage["no_boundary (concatenation)"]

@@ -1,0 +1,12 @@
+"""Ablation A2 — multi-stage query release versus single-stage maintenance."""
+
+from repro.experiments.ablations import multistage_ablation_rows
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_ablation_multistage(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: multistage_ablation_rows("NY", quick_config))
+    print_experiment("Ablation A2 — multi-stage scheme", rows)
+    assert all(row["throughput"] > 0 for row in rows)

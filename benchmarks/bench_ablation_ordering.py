@@ -1,0 +1,16 @@
+"""Ablation A3 — vertex-ordering quality (Theorem 1): MDE vs boundary-first order."""
+
+from repro.experiments.ablations import ordering_ablation_rows
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_ablation_ordering(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: ordering_ablation_rows("NY", quick_config))
+    print_experiment("Ablation A3 — vertex-ordering quality (Theorem 1)", rows)
+    by_order = {row["vertex_order"]: row for row in rows}
+    mde = by_order["MDE order (PostMHL / DH2H)"]
+    boundary_first = by_order["boundary-first order (PMHL / PSP baselines)"]
+    # Theorem 1 shape: the partition-imposed order cannot give a smaller index.
+    assert boundary_first["label_entries"] >= mde["label_entries"]

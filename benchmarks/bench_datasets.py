@@ -1,0 +1,12 @@
+"""Table I — dataset statistics of the synthetic analogs."""
+
+from repro.experiments import datasets
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_table1_datasets(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: datasets.run(quick_config, quick=True))
+    print_experiment("Table I — dataset statistics (synthetic analogs)", rows)
+    assert rows

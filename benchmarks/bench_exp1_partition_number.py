@@ -1,0 +1,12 @@
+"""Exp 1 / Figure 10 — effect of partition number k on PMHL."""
+
+from repro.experiments import exp1_partition_number
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_exp1_partition_number(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: exp1_partition_number.run(quick_config, quick=True))
+    print_experiment("Figure 10 — effect of partition number k (PMHL)", rows)
+    assert {row["k"] for row in rows} == set(quick_config.partition_number_grid)

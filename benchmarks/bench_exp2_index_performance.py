@@ -1,0 +1,15 @@
+"""Exp 2 / Figure 11 — index performance comparison (t_c, |L|, t_q, t_u)."""
+
+from repro.experiments import exp2_index_performance
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_exp2_index_performance(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: exp2_index_performance.run(quick_config, quick=True))
+    print_experiment("Figure 11 — index performance comparison", rows)
+    by_method = {row["method"]: row for row in rows}
+    # Paper shape: hop-based query beats search-based query by orders of magnitude.
+    assert by_method["PostMHL"]["query_seconds"] < by_method["BiDijkstra"]["query_seconds"]
+    assert by_method["DH2H"]["query_seconds"] < by_method["DCH"]["query_seconds"]

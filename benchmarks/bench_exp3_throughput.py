@@ -1,0 +1,18 @@
+"""Exp 3 / Figure 12 — throughput comparison across datasets."""
+
+from repro.experiments import exp3_throughput
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_exp3_throughput(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: exp3_throughput.run(quick_config, quick=True))
+    print_experiment("Figure 12 — throughput comparison", rows)
+    by_method = {row["method"]: row["throughput"] for row in rows}
+    best_proposed = max(by_method["PMHL"], by_method["PostMHL"])
+    best_baseline = max(
+        v for k, v in by_method.items() if k not in ("PMHL", "PostMHL")
+    )
+    # Paper shape: the proposed methods sustain at least the best baseline.
+    assert best_proposed >= best_baseline * 0.8

@@ -1,0 +1,15 @@
+"""Exp 4 / Figure 13 — evolution of queries-per-second during the update interval."""
+
+from repro.experiments import exp4_qps_evolution
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_exp4_qps_evolution(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: exp4_qps_evolution.run(quick_config, quick=True))
+    print_experiment("Figure 13 — QPS evolution over the update interval", rows)
+    assert rows
+    for method in {row["method"] for row in rows}:
+        series = [r["queries_per_second"] for r in rows if r["method"] == method]
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))

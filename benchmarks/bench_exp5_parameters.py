@@ -1,0 +1,16 @@
+"""Exp 5 / Figure 14 — effect of update volume, interval and response-time QoS."""
+
+from repro.experiments import exp5_parameters
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_exp5_parameters(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: exp5_parameters.run(quick_config, quick=True))
+    print_experiment("Figure 14 — effect of |U|, δt and R*_q", rows)
+    assert {row["parameter"] for row in rows} == {
+        "update_volume",
+        "update_interval",
+        "response_qos",
+    }

@@ -1,0 +1,14 @@
+"""Exp 6 / Figure 15 — effect of the (virtual) thread number p."""
+
+from repro.experiments import exp6_threads
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_exp6_threads(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: exp6_threads.run(quick_config, quick=True))
+    print_experiment("Figure 15 — speedup when varying thread number", rows)
+    for method in {row["method"] for row in rows}:
+        speedups = [r["update_speedup"] for r in rows if r["method"] == method]
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))

@@ -1,0 +1,12 @@
+"""Exp 7 / Figure 17 — effect of the expected partition number k_e on PostMHL."""
+
+from repro.experiments import exp7_ke
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_exp7_ke(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: exp7_ke.run(quick_config, quick=True))
+    print_experiment("Figure 17 — effect of k_e (PostMHL)", rows)
+    assert all(row["throughput"] >= 0 for row in rows)

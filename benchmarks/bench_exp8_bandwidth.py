@@ -1,0 +1,15 @@
+"""Exp 8 / Figure 18 — effect of the TD-partitioning bandwidth τ on PostMHL."""
+
+from repro.experiments import exp8_bandwidth
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_exp8_bandwidth(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: exp8_bandwidth.run(quick_config, quick=True))
+    print_experiment("Figure 18 — effect of bandwidth τ (PostMHL)", rows)
+    taus = [row["bandwidth"] for row in rows]
+    overlays = [row["overlay_vertices"] for row in rows]
+    # Paper shape: larger bandwidth gives a (weakly) smaller overlay graph.
+    assert all(b <= a * 1.5 for a, b in zip(overlays, overlays[1:])) or len(set(taus)) == 1

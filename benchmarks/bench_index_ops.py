@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the core index operations (build / query / update).
+
+These are conventional pytest-benchmark measurements (multiple rounds) of the
+primitive operations the experiments are built from, on the NY analog.
+"""
+
+import pytest
+
+from repro.core.pmhl import PMHLIndex
+from repro.core.postmhl import PostMHLIndex
+from repro.graph.generators import load_dataset
+from repro.graph.updates import generate_update_batch
+from repro.hierarchy.ch import DCHIndex
+from repro.labeling.h2h import DH2HIndex
+from repro.throughput.workload import sample_query_pairs
+
+INDEX_FACTORIES = {
+    "DCH": lambda graph: DCHIndex(graph),
+    "DH2H": lambda graph: DH2HIndex(graph),
+    "PMHL": lambda graph: PMHLIndex(graph, num_partitions=4, seed=7),
+    "PostMHL": lambda graph: PostMHLIndex(graph, bandwidth=14, expected_partitions=4),
+}
+
+
+@pytest.fixture(scope="module")
+def ny_graph():
+    return load_dataset("NY")
+
+
+@pytest.mark.parametrize("method", sorted(INDEX_FACTORIES))
+def test_build(benchmark, ny_graph, method):
+    def build():
+        index = INDEX_FACTORIES[method](ny_graph.copy())
+        index.build()
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1, warmup_rounds=0)
+    assert index.is_built
+
+
+@pytest.mark.parametrize("method", sorted(INDEX_FACTORIES))
+def test_query(benchmark, ny_graph, method):
+    graph = ny_graph.copy()
+    index = INDEX_FACTORIES[method](graph)
+    index.build()
+    pairs = list(sample_query_pairs(graph, 50, seed=1))
+    state = {"i": 0}
+
+    def one_query():
+        source, target = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return index.query(source, target)
+
+    result = benchmark(one_query)
+    assert result >= 0
+
+
+@pytest.mark.parametrize("method", sorted(INDEX_FACTORIES))
+def test_update_batch(benchmark, ny_graph, method):
+    graph = ny_graph.copy()
+    index = INDEX_FACTORIES[method](graph)
+    index.build()
+    state = {"seed": 0}
+
+    def one_batch():
+        state["seed"] += 1
+        batch = generate_update_batch(graph, volume=20, seed=state["seed"])
+        return index.apply_batch(batch)
+
+    report = benchmark.pedantic(one_batch, rounds=3, iterations=1, warmup_rounds=0)
+    assert report.total_seconds >= 0

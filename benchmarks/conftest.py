@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the quick
+(scaled-down) configuration and prints the resulting rows, so the series the
+paper reports can be read directly from the benchmark output (output capture
+is disabled via ``-s`` in the project-wide pytest options).
+"""
+
+import pytest
+
+from repro.experiments.config import DEFAULT_CONFIG
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    """The reduced experiment configuration used by all benchmarks."""
+    return DEFAULT_CONFIG.quick()
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

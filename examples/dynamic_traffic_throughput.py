@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Throughput of a live navigation service under periodic traffic updates.
+
+Models the paper's system setting: every ``δt`` seconds a batch of edge-weight
+changes (traffic) arrives and must be installed before stale-free query
+processing can resume; queries arrive continuously as a Poisson stream with a
+response-time QoS.  The example compares the maximum sustainable throughput of
+DH2H, DCH, P-TD-P and PostMHL on the same network and prints the QPS evolution
+of PostMHL over an update interval (the paper's Figure 13 view).
+
+Run with ``python examples/dynamic_traffic_throughput.py``.
+"""
+
+from repro import (
+    DCHIndex,
+    DH2HIndex,
+    PostMHLIndex,
+    PTDPIndex,
+    ThroughputEvaluator,
+    generate_update_batch,
+    grid_road_network,
+    sample_query_pairs,
+)
+
+
+def main() -> None:
+    graph = grid_road_network(24, 24, seed=5)
+    print(f"network: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    update_interval = 2.0   # δt (seconds, scaled down from the paper's 60-600s)
+    response_qos = 0.2      # R*_q (seconds)
+    threads = 8             # virtual maintenance threads
+    update_volume = 50      # |U| edges per batch
+
+    evaluator = ThroughputEvaluator(
+        update_interval=update_interval,
+        response_qos=response_qos,
+        threads=threads,
+        query_sample_size=30,
+    )
+
+    methods = {
+        "DCH": lambda g: DCHIndex(g),
+        "DH2H": lambda g: DH2HIndex(g),
+        "P-TD-P": lambda g: PTDPIndex(g, num_partitions=4, seed=5),
+        "PostMHL": lambda g: PostMHLIndex(g, bandwidth=16, expected_partitions=8),
+    }
+
+    print(f"\nδt={update_interval}s  R*_q={response_qos}s  p={threads}  |U|={update_volume}")
+    print(f"{'method':<10} {'t_u (wall, s)':>14} {'t_q final (ms)':>15} {'λ*_q (q/s)':>12}")
+    results = {}
+    for name, factory in methods.items():
+        working = graph.copy()
+        index = factory(working)
+        index.build()
+        workload = sample_query_pairs(working, 30, seed=5)
+        batch = generate_update_batch(working, update_volume, seed=5)
+        result = evaluator.evaluate(index, batch, workload)
+        results[name] = result
+        print(
+            f"{name:<10} {result.update_wall_seconds:>14.4f} "
+            f"{result.final_query_seconds * 1000:>15.3f} {result.max_throughput:>12.1f}"
+        )
+
+    best_baseline = max(
+        results[name].max_throughput for name in ("DCH", "DH2H", "P-TD-P")
+    )
+    speedup = results["PostMHL"].max_throughput / best_baseline if best_baseline else float("inf")
+    print(f"\nPostMHL vs best baseline throughput: {speedup:.1f}x")
+
+    # QPS evolution of PostMHL over one update interval (Figure 13 view).
+    working = graph.copy()
+    index = PostMHLIndex(working, bandwidth=16, expected_partitions=8)
+    index.build()
+    workload = sample_query_pairs(working, 30, seed=6)
+    report = index.apply_batch(generate_update_batch(working, update_volume, seed=6))
+    print("\nPostMHL QPS evolution during one update interval:")
+    for timestamp, qps in evaluator.qps_evolution(index, report, workload, num_points=8):
+        print(f"  t = {timestamp:5.2f}s   QPS ≈ {qps:10.0f}")
+
+
+if __name__ == "__main__":
+    main()

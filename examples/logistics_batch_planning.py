@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Logistics batch planning: many origin-destination distance evaluations per day.
+
+A logistics operator re-plans thousands of origin-destination legs whenever a
+traffic update lands.  This example compares the end-to-end cost of serving a
+large OD matrix with an index-free search versus PMHL/PostMHL across several
+update rounds, and reads a DIMACS-format network from disk to show the I/O
+path a user with the real datasets would take.
+
+Run with ``python examples/logistics_batch_planning.py``.
+"""
+
+import os
+import statistics
+import tempfile
+import time
+
+from repro import (
+    BiDijkstraIndex,
+    PMHLIndex,
+    PostMHLIndex,
+    generate_update_stream,
+    grid_road_network,
+    sample_query_pairs,
+)
+from repro.graph.io import read_dimacs_gr, write_dimacs_gr
+
+
+def serve_od_matrix(index, pairs):
+    start = time.perf_counter()
+    distances = [index.query(s, t) for s, t in pairs]
+    return time.perf_counter() - start, distances
+
+
+def main() -> None:
+    # Persist the synthetic network in DIMACS format and read it back, as a
+    # user with the real DIMACS/NavInfo files would.
+    graph = grid_road_network(22, 22, seed=13)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "network.gr")
+        write_dimacs_gr(graph, path, comment="synthetic logistics network")
+        graph = read_dimacs_gr(path)
+    print(f"network loaded from DIMACS: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    od_pairs = list(sample_query_pairs(graph, 400, seed=2))
+    updates = generate_update_stream(graph, num_batches=3, volume=40, seed=2)
+
+    methods = {
+        "BiDijkstra": BiDijkstraIndex(graph.copy()),
+        "PMHL": PMHLIndex(graph.copy(), num_partitions=4, seed=13),
+        "PostMHL": PostMHLIndex(graph.copy(), bandwidth=16, expected_partitions=8),
+    }
+
+    print(f"\nOD matrix size: {len(od_pairs)} legs, {len(updates)} update rounds")
+    print(f"{'method':<12} {'build (s)':>10} {'per-round update (s)':>21} {'per-round OD serve (s)':>23}")
+    reference = None
+    for name, index in methods.items():
+        build_seconds = index.build()
+        update_times, serve_times = [], []
+        distances = None
+        for batch in updates:
+            start = time.perf_counter()
+            index.apply_batch(batch)
+            update_times.append(time.perf_counter() - start)
+            serve_seconds, distances = serve_od_matrix(index, od_pairs)
+            serve_times.append(serve_seconds)
+        if reference is None:
+            reference = distances
+        else:
+            mismatches = sum(
+                1 for a, b in zip(reference, distances) if abs(a - b) > 1e-6
+            )
+            assert mismatches == 0, f"{name} disagrees on {mismatches} legs"
+        print(
+            f"{name:<12} {build_seconds:>10.3f} "
+            f"{statistics.fmean(update_times):>21.4f} "
+            f"{statistics.fmean(serve_times):>23.4f}"
+        )
+
+    print("\nAll methods return identical distances; the labeled indexes trade a")
+    print("one-off build and small per-round maintenance for a much cheaper OD sweep.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires PEP 660 wheels; in fully offline environments
+without the ``wheel`` distribution the legacy ``python setup.py develop``
+path provided by this shim installs the package in editable mode instead.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

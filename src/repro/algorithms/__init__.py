@@ -1,0 +1,21 @@
+"""Index-free shortest-path algorithms (baselines, ground truth, substrates)."""
+
+from repro.algorithms.dijkstra import (
+    all_pairs_boundary_distances,
+    astar,
+    bidijkstra,
+    dijkstra,
+    dijkstra_distance,
+    dijkstra_path,
+    restricted_dijkstra,
+)
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_distance",
+    "dijkstra_path",
+    "bidijkstra",
+    "astar",
+    "restricted_dijkstra",
+    "all_pairs_boundary_distances",
+]

@@ -1,0 +1,121 @@
+"""Common interface of every shortest-distance index in the package.
+
+The experiment harness treats all methods uniformly (BiDijkstra, DCH, DH2H,
+N-CH-P, P-TD-P, TOAIN, PMHL, PostMHL): each exposes
+
+* :meth:`DistanceIndex.build` — construct the index (records ``t_c``),
+* :meth:`DistanceIndex.query` — answer a shortest-distance query (``t_q``),
+* :meth:`DistanceIndex.apply_batch` — install a batch of edge-weight updates
+  (``t_u``), returning a per-stage timing breakdown for the multi-stage
+  methods, and
+* :meth:`DistanceIndex.index_size` — number of stored index entries (``|L|``).
+
+Sizes are reported as *entry counts* rather than bytes because pure-Python
+object overhead would otherwise dominate and hide the paper's size ordering.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.graph.graph import Graph
+from repro.graph.updates import UpdateBatch
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock duration of one named update stage.
+
+    ``parallel_times`` optionally carries the per-partition sequential times of
+    a stage that the paper would run on parallel threads; the throughput
+    evaluator converts them into a simulated parallel wall-clock (see
+    ``repro.throughput.parallel``).
+    """
+
+    name: str
+    seconds: float
+    parallel_times: Optional[List[float]] = None
+
+
+@dataclass
+class UpdateReport:
+    """Result of installing one update batch."""
+
+    stages: List[StageTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sequential wall-clock total over all stages."""
+        return sum(stage.seconds for stage in self.stages)
+
+    def stage_seconds(self, name: str) -> float:
+        """Total seconds spent in stages with the given name."""
+        return sum(stage.seconds for stage in self.stages if stage.name == name)
+
+
+class Timer:
+    """Minimal context-manager stopwatch used to record stage timings."""
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self.start
+
+
+class DistanceIndex(abc.ABC):
+    """Abstract base class of all shortest-distance indexes."""
+
+    #: Human-readable method name used in experiment tables.
+    name: str = "index"
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.build_seconds: float = 0.0
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def build(self) -> float:
+        """Construct the index; returns the construction time in seconds."""
+        with Timer() as timer:
+            self._build()
+        self.build_seconds = timer.seconds
+        self._built = True
+        return self.build_seconds
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Concrete construction logic."""
+
+    @abc.abstractmethod
+    def query(self, source: int, target: int) -> float:
+        """Return the shortest distance between ``source`` and ``target``."""
+
+    @abc.abstractmethod
+    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        """Apply a batch of edge-weight updates to the graph and the index."""
+
+    @abc.abstractmethod
+    def index_size(self) -> int:
+        """Number of stored index entries (labels + shortcuts)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    def describe(self) -> Dict[str, float]:
+        """Small summary dictionary used by the experiment reports."""
+        return {
+            "name": self.name,
+            "build_seconds": self.build_seconds,
+            "index_size": self.index_size() if self._built else 0,
+        }

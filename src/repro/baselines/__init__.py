@@ -1,0 +1,6 @@
+"""Additional baselines from the paper's evaluation (TOAIN, BiDijkstra wrapper)."""
+
+from repro.baselines.bidijkstra_index import BiDijkstraIndex
+from repro.baselines.toain import TOAINIndex
+
+__all__ = ["TOAINIndex", "BiDijkstraIndex"]

@@ -1,0 +1,174 @@
+"""Simplified TOAIN baseline (throughput-optimising adaptive index).
+
+TOAIN [Luo et al., VLDB 2018] builds a multi-level CH-style index (SCOB) for
+dynamic kNN queries and tunes a "check-in level" that trades query cost
+against update cost: objects are materialised down to a chosen hierarchy
+level, so a lower level means faster queries but more expensive updates.  The
+paper adapts it to point-to-point shortest-distance queries by treating the
+target as the single nearest object (``k = 1``) and refreshing its shortcuts
+on every update batch because SCOB was designed for static weights.
+
+This reproduction keeps the essential trade-off knob while staying within the
+substrates already built here (see DESIGN.md §3):
+
+* the index is a CH over the MDE order;
+* the *check-in level* ``L`` materialises, for every vertex, distance labels to
+  its upward-reachable hierarchy vertices whose rank falls in the top ``L``
+  fraction — larger ``L`` makes queries faster (more chances to meet in the
+  materialised zone) and updates slower (more labels to refresh);
+* updates refresh the affected shortcuts (DCH-style) and rebuild the
+  materialised labels of affected vertices.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
+from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.graph.updates import UpdateBatch
+from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
+
+INF = math.inf
+
+
+class TOAINIndex(DistanceIndex):
+    """Simplified TOAIN / SCOB baseline adapted to point-to-point queries.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    checkin_fraction:
+        Fraction of the highest-ranked vertices forming the "core" zone whose
+        distances are materialised per vertex (the throughput-tuning knob).
+    """
+
+    name = "TOAIN"
+
+    def __init__(self, graph: Graph, checkin_fraction: float = 0.2):
+        super().__init__(graph)
+        if not 0.0 < checkin_fraction <= 1.0:
+            raise ValueError(
+                f"checkin_fraction must be in (0, 1], got {checkin_fraction}"
+            )
+        self.checkin_fraction = checkin_fraction
+        self.contraction: Optional[ContractionResult] = None
+        self.core_rank_threshold = 0
+        #: Materialised upward labels: vertex -> {core vertex: distance}.
+        self.core_labels: Dict[int, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        self.contraction = contract_graph(self.graph)
+        n = self.contraction.num_vertices
+        core_size = max(1, int(self.checkin_fraction * n))
+        self.core_rank_threshold = n - core_size
+        self.core_labels = {
+            v: self._upward_core_labels(v) for v in self.contraction.order
+        }
+
+    def _upward_core_labels(self, vertex: int) -> Dict[int, float]:
+        """Upward CH search from ``vertex``, keeping only core-zone vertices."""
+        contraction = self.contraction
+        dist: Dict[int, float] = {vertex: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, vertex)]
+        settled: Dict[int, float] = {}
+        while heap:
+            d, v = heapq.heappop(heap)
+            if v in settled:
+                continue
+            settled[v] = d
+            for u, w in contraction.shortcuts[v].items():
+                nd = d + w
+                if nd < dist.get(u, INF):
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        rank = contraction.rank
+        return {
+            v: d for v, d in settled.items() if rank[v] >= self.core_rank_threshold
+        }
+
+    def _require_built(self) -> ContractionResult:
+        if self.contraction is None:
+            raise IndexNotBuiltError("TOAIN index has not been built")
+        return self.contraction
+
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int) -> float:
+        """Point-to-point query.
+
+        The highest-rank vertex of a shortest path either lies in the core
+        zone — covered by joining the two materialised label sets — or below
+        it — covered by a bidirectional CH search restricted to the sub-core
+        part of the hierarchy (cheap when the core fraction is large).
+        """
+        contraction = self._require_built()
+        if source not in contraction.rank:
+            raise VertexNotFoundError(source)
+        if target not in contraction.rank:
+            raise VertexNotFoundError(target)
+        if source == target:
+            return 0.0
+        labels_s = self.core_labels[source]
+        labels_t = self.core_labels[target]
+        best = INF
+        for hub, d_s in labels_s.items():
+            d_t = labels_t.get(hub)
+            if d_t is not None and d_s + d_t < best:
+                best = d_s + d_t
+
+        from repro.hierarchy.ch import ch_bidirectional_query
+
+        rank = contraction.rank
+        threshold = self.core_rank_threshold
+
+        def sub_core_upward(v: int) -> Dict[int, float]:
+            return {
+                u: w
+                for u, w in contraction.shortcuts[v].items()
+                if rank[u] < threshold
+            }
+
+        below = ch_bidirectional_query(source, target, sub_core_upward)
+        return min(best, below)
+
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        """Refresh shortcuts (DCH-style) and rebuild all materialised labels.
+
+        TOAIN was designed for static edge weights; following the paper, its
+        adaptation to dynamic networks refreshes the shortcut hierarchy and the
+        materialised check-in labels on every batch, which is what makes its
+        update cost high on large networks.
+        """
+        contraction = self._require_built()
+        report = UpdateReport()
+
+        with Timer() as timer:
+            batch.apply(self.graph)
+        report.stages.append(StageTiming("edge_update", timer.seconds))
+
+        with Timer() as timer:
+            update_shortcuts_bottom_up(
+                contraction, self.graph, [update.key() for update in batch]
+            )
+        report.stages.append(StageTiming("shortcut_update", timer.seconds))
+
+        with Timer() as timer:
+            self.core_labels = {
+                v: self._upward_core_labels(v) for v in contraction.order
+            }
+        report.stages.append(StageTiming("label_rebuild", timer.seconds))
+        return report
+
+    # ------------------------------------------------------------------
+    def index_size(self) -> int:
+        contraction = self._require_built()
+        return contraction.shortcut_count() + sum(
+            len(labels) for labels in self.core_labels.values()
+        )

@@ -1,0 +1,85 @@
+"""Cross-boundary strategy: one global 2-hop index stitched from PSP pieces.
+
+Section IV-A of the paper introduces the cross-boundary strategy: concatenate
+the overlay and partition indexes *ahead of time* into a single global 2-hop
+index ``L*`` so cross-partition queries no longer pay for per-query distance
+concatenation.  Section V-C realises ``L*`` by *tree decomposition
+aggregation* (Algorithm 1): the partition trees and the overlay tree are
+merged into one cross-boundary tree ``T*`` whose node relationships prioritise
+the overlay tree.
+
+This module implements that aggregation by composing a single
+:class:`~repro.treedec.mde.ContractionResult` out of the partition and overlay
+contractions:
+
+* a non-boundary vertex keeps the neighbour set / shortcut array of its
+  partition contraction,
+* a boundary vertex keeps those of the overlay contraction,
+
+which — because the partition and overlay contractions are restrictions of one
+global boundary-first order (Lemma 3) — is exactly what a single global
+contraction of the road network under that order would produce.  The shortcut
+dictionaries are shared *by reference*, so partition/overlay shortcut
+maintenance automatically keeps the cross-boundary shortcut arrays fresh and
+U-Stage 5 only has to refresh distance labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.labeling.h2h import H2HLabels
+from repro.partitioning.base import Partitioning
+from repro.psp.overlay import OverlayIndex
+from repro.psp.partition_family import PartitionIndexFamily
+from repro.treedec.mde import ContractionResult
+from repro.treedec.tree import TreeDecomposition
+
+
+def compose_cross_boundary_contraction(
+    partitioning: Partitioning,
+    order: Sequence[int],
+    family: PartitionIndexFamily,
+    overlay: OverlayIndex,
+) -> ContractionResult:
+    """Compose the global cross-boundary contraction from PSP building blocks.
+
+    The returned :class:`ContractionResult` shares the shortcut dictionaries of
+    the partition and overlay contractions by reference; it carries no
+    supporter records because its shortcuts are never maintained directly.
+    """
+    boundary = partitioning.all_boundary()
+    composed = ContractionResult()
+    composed.order = list(order)
+    composed.rank = {v: i for i, v in enumerate(composed.order)}
+    for v in composed.order:
+        if v in boundary:
+            source = overlay.contraction
+        else:
+            source = family.contractions[partitioning.partition_of(v)]
+        composed.neighbors[v] = source.neighbors[v]
+        composed.shortcuts[v] = source.shortcuts[v]
+    return composed
+
+
+def build_cross_boundary_index(
+    partitioning: Partitioning,
+    order: Sequence[int],
+    family: PartitionIndexFamily,
+    overlay: OverlayIndex,
+) -> Tuple[ContractionResult, TreeDecomposition, H2HLabels]:
+    """Build the cross-boundary tree ``T*`` and labels ``L*`` (Algorithm 1).
+
+    Returns the composed contraction, the aggregated tree decomposition and the
+    fully-built global distance labels.
+    """
+    composed = compose_cross_boundary_contraction(partitioning, order, family, overlay)
+    tree = TreeDecomposition.from_contraction(composed, allow_forest=True)
+    labels = H2HLabels(tree)
+    labels.build()
+    return composed, tree, labels
+
+
+def cross_boundary_label_size(labels: H2HLabels) -> int:
+    """Number of distance-label entries of the cross-boundary index."""
+    return labels.label_entry_count()

@@ -1,0 +1,447 @@
+"""Partitioned Multi-stage Hub Labeling (PMHL, Section V of the paper).
+
+PMHL partitions the road network, builds MHL-style indexes for the partitions
+and the overlay, and layers three PSP strategies on top of each other so that
+query efficiency keeps improving *while* the index is being maintained:
+
+==============  =====================================  ==========================
+update stage    work                                   query stage released
+==============  =====================================  ==========================
+U1              on-spot edge refresh                   Q1 — BiDijkstra
+U2              no-boundary shortcut update            Q2 — partitioned CH (PCH)
+U3              no-boundary label update               Q3 — no-boundary query
+U4              post-boundary index update             Q4 — post-boundary query
+U5              cross-boundary index update            Q5 — cross-boundary query
+==============  =====================================  ==========================
+
+Partition-level work inside U2-U4 is reported with per-partition timings and
+U5 with per-branch-root timings so the throughput evaluator can model the
+paper's multi-threaded execution (see ``repro.throughput.parallel``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.algorithms.dijkstra import bidijkstra
+from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
+from repro.core.cross_boundary import build_cross_boundary_index
+from repro.core.stages import PMHLQueryStage, timed_label_update_by_root
+from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.graph.updates import UpdateBatch
+from repro.hierarchy.ch import ch_bidirectional_query
+from repro.labeling.h2h import H2HLabels
+from repro.partitioning.base import Partitioning
+from repro.partitioning.natural_cut import natural_cut_partition
+from repro.partitioning.ordering import boundary_first_order
+from repro.psp.overlay import OverlayIndex
+from repro.psp.partition_family import PartitionIndexFamily
+from repro.treedec.tree import TreeDecomposition
+
+INF = math.inf
+
+
+class PMHLIndex(DistanceIndex):
+    """Partitioned Multi-stage Hub Labeling index.
+
+    Parameters
+    ----------
+    graph:
+        The road network (mutated in place by updates).
+    num_partitions:
+        Partition number ``k`` (the paper's default is 8-32 depending on size).
+    partitioning:
+        Optional pre-computed partitioning; defaults to the natural-cut
+        (PUNCH-substitute) partitioner.
+    seed:
+        Partitioner seed.
+    """
+
+    name = "PMHL"
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_partitions: int = 8,
+        partitioning: Optional[Partitioning] = None,
+        seed: int = 0,
+    ):
+        super().__init__(graph)
+        self.num_partitions = num_partitions
+        self.seed = seed
+        self.partitioning = partitioning
+        self.order: List[int] = []
+        self.family: Optional[PartitionIndexFamily] = None
+        self.overlay: Optional[OverlayIndex] = None
+        self.extended_family: Optional[PartitionIndexFamily] = None
+        self.boundary_distances: List[Dict[Tuple[int, int], float]] = []
+        self.cross_tree: Optional[TreeDecomposition] = None
+        self.cross_labels: Optional[H2HLabels] = None
+        self.build_breakdown: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Construction (Section V-C, Steps 1-6)
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        breakdown: Dict[str, float] = {}
+        start = time.perf_counter()
+        if self.partitioning is None:
+            self.partitioning = natural_cut_partition(
+                self.graph, self.num_partitions, seed=self.seed
+            )
+        self.order = boundary_first_order(self.graph, self.partitioning)
+        breakdown["partitioning_and_ordering"] = time.perf_counter() - start
+
+        # Steps 1-3: no-boundary index ({L_i}, overlay graph, overlay index).
+        start = time.perf_counter()
+        self.family = PartitionIndexFamily(self.partitioning, self.order, with_labels=True)
+        self.family.build()
+        self.overlay = OverlayIndex(self.partitioning, self.family, self.order, with_labels=True)
+        self.overlay.build()
+        breakdown["no_boundary"] = time.perf_counter() - start
+
+        # Steps 4-5: post-boundary index ({L'_i} on extended partitions).
+        start = time.perf_counter()
+        extended_graphs: List[Graph] = []
+        self.boundary_distances = []
+        for pid in range(self.partitioning.num_partitions):
+            extended = self.partitioning.subgraph(pid)
+            distances = self.overlay.boundary_pair_distances(pid)
+            for (b1, b2), weight in distances.items():
+                if b1 < b2 and weight < INF:
+                    if extended.has_edge(b1, b2):
+                        extended.set_edge_weight(
+                            b1, b2, min(weight, extended.edge_weight(b1, b2))
+                        )
+                    else:
+                        extended.add_edge(b1, b2, weight)
+            extended_graphs.append(extended)
+            self.boundary_distances.append(distances)
+        self.extended_family = PartitionIndexFamily(
+            self.partitioning, self.order, with_labels=True, graphs=extended_graphs
+        )
+        self.extended_family.build()
+        breakdown["post_boundary"] = time.perf_counter() - start
+
+        # Step 6: cross-boundary index L* via tree aggregation.
+        start = time.perf_counter()
+        _, self.cross_tree, self.cross_labels = build_cross_boundary_index(
+            self.partitioning, self.order, self.family, self.overlay
+        )
+        breakdown["cross_boundary"] = time.perf_counter() - start
+        self.build_breakdown = breakdown
+
+    def _require_built(self) -> None:
+        if self.cross_labels is None:
+            raise IndexNotBuiltError("PMHL index has not been built")
+
+    # ------------------------------------------------------------------
+    # Query processing (Q-Stages 1-5)
+    # ------------------------------------------------------------------
+    def query_bidijkstra(self, source: int, target: int) -> float:
+        """Q-Stage 1: index-free bidirectional Dijkstra on the live graph."""
+        return bidijkstra(self.graph, source, target)
+
+    def query_pch(self, source: int, target: int) -> float:
+        """Q-Stage 2: partitioned CH query over the union of shortcut arrays."""
+        self._require_built()
+        boundary = self.partitioning.all_boundary()
+
+        def upward(v: int) -> Dict[int, float]:
+            if v in boundary:
+                return self.overlay.contraction.shortcuts[v]
+            return self.family.contractions[self.partitioning.partition_of(v)].shortcuts[v]
+
+        return ch_bidirectional_query(source, target, upward)
+
+    def query_no_boundary(self, source: int, target: int) -> float:
+        """Q-Stage 3: no-boundary PSP query (distance concatenation via {L_i}, L̃)."""
+        self._require_built()
+        return self._psp_query(source, target, self.family, same_partition_direct=False)
+
+    def query_post_boundary(self, source: int, target: int) -> float:
+        """Q-Stage 4: post-boundary PSP query (same-partition queries answered by {L'_i})."""
+        self._require_built()
+        return self._psp_query(source, target, self.extended_family, same_partition_direct=True)
+
+    def query_cross_boundary(self, source: int, target: int) -> float:
+        """Q-Stage 5: cross-boundary 2-hop query on L* (fastest)."""
+        self._require_built()
+        return self.cross_labels.query(source, target)
+
+    def query(self, source: int, target: int) -> float:
+        """Default query path: the fastest (cross-boundary) stage."""
+        self._require_built()
+        if not self.graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        if not self.graph.has_vertex(target):
+            raise VertexNotFoundError(target)
+        return self.query_cross_boundary(source, target)
+
+    def query_at_stage(self, source: int, target: int, stage: PMHLQueryStage) -> float:
+        """Dispatch a query to the requested stage's algorithm."""
+        if stage == PMHLQueryStage.BIDIJKSTRA:
+            return self.query_bidijkstra(source, target)
+        if stage == PMHLQueryStage.PCH:
+            return self.query_pch(source, target)
+        if stage == PMHLQueryStage.NO_BOUNDARY:
+            return self.query_no_boundary(source, target)
+        if stage == PMHLQueryStage.POST_BOUNDARY:
+            return self.query_post_boundary(source, target)
+        return self.query_cross_boundary(source, target)
+
+    def _psp_query(
+        self,
+        source: int,
+        target: int,
+        family: PartitionIndexFamily,
+        same_partition_direct: bool,
+    ) -> float:
+        """Shared no-/post-boundary query logic (Section III-C query cases)."""
+        if source == target:
+            return 0.0
+        partitioning = self.partitioning
+        pid_s = partitioning.partition_of(source)
+        pid_t = partitioning.partition_of(target)
+        boundary = partitioning.all_boundary()
+        source_is_boundary = source in boundary
+        target_is_boundary = target in boundary
+
+        if pid_s == pid_t:
+            local = family.query(pid_s, source, target)
+            if same_partition_direct:
+                return local
+            best = local
+            source_to_boundary = family.distances_to_boundary(pid_s, source)
+            target_to_boundary = family.distances_to_boundary(pid_s, target)
+            for bp, d_s in source_to_boundary.items():
+                if d_s == INF:
+                    continue
+                for bq, d_t in target_to_boundary.items():
+                    if d_t == INF:
+                        continue
+                    candidate = d_s + self.overlay.query(bp, bq) + d_t
+                    if candidate < best:
+                        best = candidate
+            return best
+
+        if source_is_boundary and target_is_boundary:
+            return self.overlay.query(source, target)
+        if source_is_boundary:
+            return self._psp_boundary_to_inner(source, pid_t, target, family)
+        if target_is_boundary:
+            return self._psp_boundary_to_inner(target, pid_s, source, family)
+
+        best = INF
+        source_to_boundary = family.distances_to_boundary(pid_s, source)
+        target_to_boundary = family.distances_to_boundary(pid_t, target)
+        for bp, d_s in source_to_boundary.items():
+            if d_s == INF:
+                continue
+            for bq, d_t in target_to_boundary.items():
+                if d_t == INF:
+                    continue
+                candidate = d_s + self.overlay.query(bp, bq) + d_t
+                if candidate < best:
+                    best = candidate
+        return best
+
+    def _psp_boundary_to_inner(
+        self, boundary_vertex: int, pid: int, inner: int, family: PartitionIndexFamily
+    ) -> float:
+        best = INF
+        for bq, d_t in family.distances_to_boundary(pid, inner).items():
+            if d_t == INF:
+                continue
+            candidate = self.overlay.query(boundary_vertex, bq) + d_t
+            if candidate < best:
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    # Maintenance (U-Stages 1-5, Section V-D)
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        self._require_built()
+        report = UpdateReport()
+        partitioning = self.partitioning
+
+        # U-Stage 1: on-spot edge update.
+        with Timer() as timer:
+            batch.apply(self.graph)
+        report.stages.append(StageTiming("edge_update", timer.seconds))
+
+        # Group updates by partition / inter-partition.
+        per_partition: Dict[int, List] = {}
+        inter_updates: List = []
+        for update in batch:
+            pid_u = partitioning.partition_of(update.u)
+            pid_v = partitioning.partition_of(update.v)
+            if pid_u == pid_v:
+                per_partition.setdefault(pid_u, []).append(update)
+            else:
+                inter_updates.append(update)
+
+        # U-Stage 2: no-boundary shortcut update (partitions in parallel, then overlay).
+        partition_shortcut_times: List[float] = []
+        partition_changed: Dict[int, Dict[int, List[int]]] = {}
+        changed_boundary: Dict[Tuple[int, int], float] = {}
+        for pid, updates in sorted(per_partition.items()):
+            start = time.perf_counter()
+            changed_edges = self.family.apply_edge_updates(pid, updates)
+            changed_report = self.family.update_shortcuts(pid, changed_edges)
+            partition_changed[pid] = changed_report
+            boundary = partitioning.boundary(pid)
+            for v, neighbours in changed_report.items():
+                if v in boundary:
+                    for u in neighbours:
+                        if u in boundary:
+                            changed_boundary[(v, u)] = self.family.contractions[pid].shortcuts[v][u]
+            partition_shortcut_times.append(time.perf_counter() - start)
+        report.stages.append(
+            StageTiming(
+                "partition_shortcut_update",
+                sum(partition_shortcut_times),
+                parallel_times=partition_shortcut_times,
+            )
+        )
+
+        with Timer() as timer:
+            overlay_changed = self._overlay_shortcut_update(inter_updates, changed_boundary)
+        report.stages.append(StageTiming("overlay_shortcut_update", timer.seconds))
+
+        # U-Stage 3: no-boundary label update (partitions in parallel, then overlay).
+        partition_label_times: List[float] = []
+        for pid, changed_report in sorted(partition_changed.items()):
+            start = time.perf_counter()
+            self.family.update_labels(pid, changed_report.keys())
+            partition_label_times.append(time.perf_counter() - start)
+        report.stages.append(
+            StageTiming(
+                "partition_label_update",
+                sum(partition_label_times),
+                parallel_times=partition_label_times,
+            )
+        )
+
+        with Timer() as timer:
+            if overlay_changed:
+                self.overlay.labels.update_top_down(overlay_changed.keys())
+        report.stages.append(StageTiming("overlay_label_update", timer.seconds))
+
+        # U-Stage 4: post-boundary index update (partitions in parallel).
+        post_times = self._post_boundary_update(per_partition)
+        report.stages.append(
+            StageTiming("post_boundary_update", sum(post_times), parallel_times=post_times)
+        )
+
+        # U-Stage 5: cross-boundary index update (branch roots in parallel).
+        with Timer() as timer:
+            affected: Set[int] = set(overlay_changed.keys())
+            for changed_report in partition_changed.values():
+                affected |= set(changed_report.keys())
+            _, per_root_times = timed_label_update_by_root(self.cross_labels, affected)
+        report.stages.append(
+            StageTiming("cross_boundary_update", timer.seconds, parallel_times=per_root_times)
+        )
+
+        self.last_report = report
+        return report
+
+    def _overlay_shortcut_update(
+        self, inter_updates: List, changed_boundary: Dict[Tuple[int, int], float]
+    ) -> Dict[int, List[int]]:
+        """Install overlay edge changes and maintain the overlay shortcut arrays."""
+        overlay = self.overlay
+        changed_edges: List[Tuple[int, int]] = []
+        for update in inter_updates:
+            if overlay.graph.has_edge(update.u, update.v):
+                overlay.graph.set_edge_weight(update.u, update.v, update.new_weight)
+                changed_edges.append(update.key())
+        for (b1, b2), weight in changed_boundary.items():
+            if overlay.graph.has_edge(b1, b2):
+                if overlay.graph.edge_weight(b1, b2) != weight:
+                    overlay.graph.set_edge_weight(b1, b2, weight)
+                    changed_edges.append((b1, b2) if b1 < b2 else (b2, b1))
+            else:
+                overlay.graph.add_edge(b1, b2, weight)
+                changed_edges.append((b1, b2) if b1 < b2 else (b2, b1))
+        from repro.treedec.mde import update_shortcuts_bottom_up
+
+        return update_shortcuts_bottom_up(overlay.contraction, overlay.graph, changed_edges)
+
+    def _post_boundary_update(self, per_partition: Dict[int, List]) -> List[float]:
+        """U-Stage 4: refresh extended partitions whose boundary distances or edges changed."""
+        partitioning = self.partitioning
+        times: List[float] = []
+        for pid in range(partitioning.num_partitions):
+            start = time.perf_counter()
+            boundary = partitioning.boundary(pid)
+            new_distances = self.overlay.boundary_pair_distances(pid)
+            changed_pairs = {
+                pair: weight
+                for pair, weight in new_distances.items()
+                if pair[0] < pair[1]
+                and weight < INF
+                and self.boundary_distances[pid].get(pair) != weight
+            }
+            intra_updates = [
+                u
+                for u in per_partition.get(pid, [])
+                if not (u.u in boundary and u.v in boundary)
+            ]
+            if not changed_pairs and not intra_updates:
+                times.append(time.perf_counter() - start)
+                continue
+            self.boundary_distances[pid] = new_distances
+            changed_edges = self.extended_family.apply_edge_updates(pid, intra_updates)
+            changed_edges += self.extended_family.set_edge_weights(pid, changed_pairs)
+            changed_report = self.extended_family.update_shortcuts(pid, changed_edges)
+            self.extended_family.update_labels(pid, changed_report.keys())
+            times.append(time.perf_counter() - start)
+        return times
+
+    # ------------------------------------------------------------------
+    # Introspection and throughput metadata
+    # ------------------------------------------------------------------
+    def index_size(self) -> int:
+        self._require_built()
+        return (
+            self.family.index_size()
+            + self.overlay.index_size()
+            + self.extended_family.index_size()
+            + self.cross_labels.label_entry_count()
+        )
+
+    def stage_catalog(self) -> List[Dict[str, object]]:
+        """Query stages in release order, with the update stage that releases each."""
+        return [
+            {
+                "query_stage": PMHLQueryStage.BIDIJKSTRA,
+                "released_after": "edge_update",
+                "query": self.query_bidijkstra,
+            },
+            {
+                "query_stage": PMHLQueryStage.PCH,
+                "released_after": "overlay_shortcut_update",
+                "query": self.query_pch,
+            },
+            {
+                "query_stage": PMHLQueryStage.NO_BOUNDARY,
+                "released_after": "overlay_label_update",
+                "query": self.query_no_boundary,
+            },
+            {
+                "query_stage": PMHLQueryStage.POST_BOUNDARY,
+                "released_after": "post_boundary_update",
+                "query": self.query_post_boundary,
+            },
+            {
+                "query_stage": PMHLQueryStage.CROSS_BOUNDARY,
+                "released_after": "cross_boundary_update",
+                "query": self.query_cross_boundary,
+            },
+        ]

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch any failure originating in this package with a single ``except`` clause
+while still being able to distinguish graph-level, index-level, partitioning
+and workload problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or mutation requests."""
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge that does not exist."""
+
+    def __init__(self, u: int, v: int):
+        super().__init__(f"edge ({u}, {v}) does not exist")
+        self.u = u
+        self.v = v
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when an operation references a vertex that does not exist."""
+
+    def __init__(self, v: int):
+        super().__init__(f"vertex {v} does not exist")
+        self.vertex = v
+
+
+class InvalidWeightError(GraphError):
+    """Raised when an edge weight is not a strictly positive finite number."""
+
+    def __init__(self, weight: float):
+        super().__init__(f"edge weight must be positive and finite, got {weight!r}")
+        self.weight = weight
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an algorithm requires a connected graph but got one that is not."""
+
+
+class IndexError_(ReproError):
+    """Base class for shortest-path index errors (named with a trailing underscore
+    to avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class IndexNotBuiltError(IndexError_):
+    """Raised when a query or update is issued against an index that has not been built."""
+
+
+class IndexStaleError(IndexError_):
+    """Raised when a query stage is used while the corresponding index is stale."""
+
+
+class PartitioningError(ReproError):
+    """Raised when a partitioning request cannot be satisfied."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload or throughput-evaluation configuration."""

@@ -1,0 +1,99 @@
+"""Command-line entry point for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments <experiment-id> [--quick] [--output FILE]
+    python -m repro.experiments --list
+
+``experiment-id`` is one of the keys of :data:`repro.experiments.EXPERIMENTS`
+(``table1``, ``exp1`` … ``exp8``, ``ablations``) or ``all``.  The driver's rows
+are printed as a plain-text table and optionally written to a CSV file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.config import DEFAULT_CONFIG
+from repro.experiments.runner import print_experiment
+
+
+def _write_csv(rows: List[Dict[str, object]], path: str) -> None:
+    if not rows:
+        return
+    columns: List[str] = []
+    for row in rows:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures on the synthetic analogs.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id (table1, exp1..exp8, ablations) or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced quick configuration (same one the benchmarks use)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list the available experiment ids and exit",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="optional CSV file to write the result rows to",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_experiments or args.experiment is None:
+        print("available experiments:")
+        for key, module in EXPERIMENTS.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {key:<10} {summary}")
+        return 0
+
+    requested = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    config = DEFAULT_CONFIG.quick() if args.quick else DEFAULT_CONFIG
+    all_rows: List[Dict[str, object]] = []
+    for name in requested:
+        module = EXPERIMENTS[name]
+        rows = module.run(config, quick=args.quick)
+        title = (module.__doc__ or name).strip().splitlines()[0]
+        print_experiment(title, rows)
+        all_rows.extend({"experiment": name, **row} for row in rows)
+
+    if args.output:
+        _write_csv(all_rows, args.output)
+        print(f"\nwrote {len(all_rows)} rows to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

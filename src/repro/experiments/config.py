@@ -1,0 +1,80 @@
+"""Experiment configuration (the scaled-down analogue of the paper's Table II).
+
+The paper's defaults (update volume 10,000 edges, update interval 60-600 s,
+QoS 0.5-2 s) target multi-million-vertex networks indexed in C++.  The
+synthetic analogs used here have 400-2,600 vertices and pure-Python indexes,
+so every knob is scaled down proportionally; what the experiments preserve is
+the *relative* behaviour between methods and the direction of every trend.
+The mapping is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Default parameters shared by the experiment drivers."""
+
+    #: Datasets used by the quick (benchmark) runs, smallest first.
+    quick_datasets: Tuple[str, ...] = ("NY", "GD")
+    #: Datasets used by the full experiment scripts.
+    full_datasets: Tuple[str, ...] = ("NY", "GD", "FLA", "SC", "EC", "W", "CTR", "USA")
+    #: Update volume |U| (number of changed edges per batch) — paper: 10,000.
+    update_volume: int = 30
+    #: Update volume grid for Exp 5 — paper: 500 / 1,000 / 3,000 / 5,000.
+    update_volume_grid: Tuple[int, ...] = (10, 20, 40, 60)
+    #: Update interval δt in seconds — paper: 60 / 120 / 300 / 600.
+    update_interval: float = 2.0
+    update_interval_grid: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
+    #: Response-time QoS R*_q in seconds — paper: 0.5 / 1.0 / 1.5 / 2.0.
+    response_qos: float = 0.2
+    response_qos_grid: Tuple[float, ...] = (0.05, 0.1, 0.2, 0.4)
+    #: Virtual maintenance threads p — paper default 140.
+    threads: int = 8
+    thread_grid: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 140)
+    #: Partition number k for PMHL and the PSP baselines — paper: 8-32.
+    partition_number: int = 4
+    partition_number_grid: Tuple[int, ...] = (2, 4, 8, 16)
+    #: Expected partition number k_e for PostMHL — paper: 32-128.
+    expected_partitions: int = 4
+    expected_partitions_grid: Tuple[int, ...] = (2, 4, 8, 16)
+    #: TD-partitioning bandwidth τ — paper: 100-400.
+    bandwidth: int = 14
+    bandwidth_grid: Tuple[int, ...] = (8, 10, 14, 18, 24)
+    #: TOAIN check-in fraction.
+    toain_checkin_fraction: float = 0.25
+    #: Number of query pairs sampled per measurement.
+    query_sample_size: int = 40
+    #: Random seed base.
+    seed: int = 7
+
+    def quick(self) -> "ExperimentConfig":
+        """A reduced configuration for use inside pytest-benchmark runs."""
+        return ExperimentConfig(
+            quick_datasets=("NY", "GD"),
+            full_datasets=("NY", "GD"),
+            update_volume=15,
+            update_volume_grid=(10, 20),
+            update_interval_grid=(1.0, 2.0),
+            response_qos_grid=(0.1, 0.2),
+            thread_grid=(1, 4, 16),
+            partition_number_grid=(2, 4),
+            expected_partitions_grid=(2, 4),
+            bandwidth_grid=(10, 14),
+            query_sample_size=20,
+            seed=self.seed,
+        )
+
+
+#: Default configuration instance used by the experiment drivers.
+DEFAULT_CONFIG = ExperimentConfig()
+
+#: The paper's Table II (for the record; values here are *not* used directly).
+PAPER_TABLE_II = {
+    "update_volume": [500, 1000, 3000, 5000],
+    "update_interval_seconds": [60, 120, 300, 600],
+    "response_qos_seconds": [0.5, 1.0, 1.5, 2.0],
+}

@@ -1,0 +1,45 @@
+"""Table I — dataset statistics (paper networks vs. synthetic analogs)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.graph.generators import DATASET_SPECS
+from repro.graph.validation import graph_stats
+
+
+def table1_rows(config: ExperimentConfig = DEFAULT_CONFIG,
+                datasets: List[str] | None = None) -> List[Dict[str, object]]:
+    """One row per dataset: paper size, analog size, default parameters.
+
+    Mirrors Table I of the paper with two extra columns giving the synthetic
+    analog's size so the scale-down factor is explicit.
+    """
+    names = datasets if datasets is not None else list(config.full_datasets)
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        spec = DATASET_SPECS[name]
+        graph = spec.build()
+        stats = graph_stats(graph)
+        rows.append(
+            {
+                "dataset": spec.name,
+                "paper_name": spec.paper_name,
+                "paper_|V|": spec.paper_vertices,
+                "paper_|E|": spec.paper_edges,
+                "analog_|V|": stats.num_vertices,
+                "analog_|E|": stats.num_edges,
+                "avg_degree": round(stats.avg_degree, 2),
+                "k": spec.default_k,
+                "ke": spec.default_ke,
+                "tau": spec.default_tau,
+            }
+        )
+    return rows
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
+    """Regenerate Table I (analog form)."""
+    datasets = list(config.quick_datasets if quick else config.full_datasets)
+    return table1_rows(config, datasets)

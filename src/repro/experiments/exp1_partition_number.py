@@ -1,0 +1,54 @@
+"""Exp 1 / Figure 10 — effect of the partition number ``k`` on PMHL.
+
+The paper varies ``k`` from 4 to 128 and reports the throughput ``λ*_q``
+(polyline) together with the total boundary-vertex count ``|B|`` (bars): both
+very small and very large ``k`` hurt throughput, because few partitions limit
+parallelism while many partitions inflate the boundary (and thus the overlay
+and cross-boundary maintenance work).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.pmhl import PMHLIndex
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import measure_throughput, prepare_dataset
+
+
+def partition_number_rows(
+    dataset: str,
+    partition_numbers: List[int],
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[Dict[str, object]]:
+    """One row per partition number: |B|, update wall time and throughput."""
+    graph = prepare_dataset(dataset)
+    rows: List[Dict[str, object]] = []
+    for k in partition_numbers:
+        working = graph.copy()
+        index = PMHLIndex(working, num_partitions=k, seed=config.seed)
+        index.build()
+        result = measure_throughput(
+            "PMHL", dataset, config, graph=working, prebuilt=index
+        )
+        rows.append(
+            {
+                "dataset": dataset,
+                "k": k,
+                "boundary_vertices": len(index.partitioning.all_boundary()),
+                "max_boundary": index.partitioning.max_boundary_size(),
+                "update_wall_seconds": result.update_wall_seconds,
+                "throughput": result.max_throughput,
+            }
+        )
+    return rows
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
+    """Regenerate Figure 10 on the configured datasets."""
+    datasets = config.quick_datasets if quick else ("FLA", "EC", "W")
+    grid = list(config.partition_number_grid)
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(partition_number_rows(dataset, grid, config))
+    return rows

@@ -1,0 +1,41 @@
+"""Exp 2 / Figure 11 — index performance comparison.
+
+For every method and dataset the paper reports construction time ``t_c``,
+index size ``|L|``, average query time ``t_q`` and average update time
+``t_u``.  The expected shape: hop-based indexes (DH2H, P-TD-P, PMHL, PostMHL)
+query orders of magnitude faster than search-based ones (BiDijkstra, DCH,
+N-CH-P); DCH updates fastest among non-partitioned indexes; the partitioned
+multi-stage indexes update faster than DH2H thanks to (simulated) parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.methods import method_names
+from repro.experiments.runner import measure_index_performance, prepare_dataset
+
+
+def index_performance_rows(
+    datasets: Sequence[str],
+    methods: Optional[Sequence[str]] = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[Dict[str, object]]:
+    """One row per (method, dataset) with t_c, |L|, t_q, t_u."""
+    methods = list(methods) if methods is not None else method_names()
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        graph = prepare_dataset(dataset)
+        for method in methods:
+            performance = measure_index_performance(method, dataset, config, graph=graph)
+            rows.append(asdict(performance))
+    return rows
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
+    """Regenerate Figure 11 (quick mode uses the small datasets and method subset)."""
+    datasets = config.quick_datasets if quick else config.full_datasets
+    methods = method_names(quick=quick)
+    return index_performance_rows(datasets, methods, config)

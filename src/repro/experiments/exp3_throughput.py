@@ -1,0 +1,46 @@
+"""Exp 3 / Figure 12 — throughput comparison across datasets.
+
+The headline result: PMHL and PostMHL outperform every baseline's maximum
+sustainable throughput, by up to two orders of magnitude, with PostMHL the
+best overall.  DH2H suffers from its long index-unavailable period, DCH and
+the search-based methods from slow queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.methods import method_names
+from repro.experiments.runner import measure_throughput, prepare_dataset
+
+
+def throughput_rows(
+    datasets: Sequence[str],
+    methods: Optional[Sequence[str]] = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[Dict[str, object]]:
+    """One row per (method, dataset) with λ*_q and its two ingredients."""
+    methods = list(methods) if methods is not None else method_names()
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        graph = prepare_dataset(dataset)
+        for method in methods:
+            result = measure_throughput(method, dataset, config, graph=graph)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "method": method,
+                    "throughput": result.max_throughput,
+                    "update_wall_seconds": result.update_wall_seconds,
+                    "final_query_seconds": result.final_query_seconds,
+                }
+            )
+    return rows
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
+    """Regenerate Figure 12 (quick mode restricts datasets and methods)."""
+    datasets = config.quick_datasets if quick else config.full_datasets
+    methods = method_names(quick=quick)
+    return throughput_rows(datasets, methods, config)

@@ -1,0 +1,65 @@
+"""Exp 4 / Figure 13 — evolution of queries-per-second during an update interval.
+
+The paper plots, for each method, the instantaneous QPS (``1 / t_q`` of the
+fastest currently-available query algorithm) over the update interval: the
+multi-stage indexes climb step by step (BiDijkstra → PCH → … → cross-boundary)
+while single-stage baselines jump once, when their maintenance completes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.methods import build_method, method_names
+from repro.experiments.runner import prepare_dataset, prepare_workload
+from repro.graph.updates import generate_update_batch
+from repro.throughput.evaluator import ThroughputEvaluator
+
+
+def qps_evolution_rows(
+    dataset: str,
+    methods: Optional[Sequence[str]] = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    num_points: int = 10,
+) -> List[Dict[str, object]]:
+    """QPS samples over one update interval for every method on one dataset."""
+    methods = list(methods) if methods is not None else method_names()
+    graph = prepare_dataset(dataset)
+    rows: List[Dict[str, object]] = []
+    evaluator = ThroughputEvaluator(
+        update_interval=config.update_interval,
+        response_qos=config.response_qos,
+        threads=config.threads,
+        query_sample_size=config.query_sample_size,
+    )
+    for method in methods:
+        working = graph.copy()
+        index = build_method(method, working, config)
+        index.build()
+        workload = prepare_workload(working, config)
+        batch = generate_update_batch(working, config.update_volume, seed=config.seed)
+        try:
+            report = index.apply_batch(batch)
+        except NotImplementedError:
+            continue
+        for timestamp, qps in evaluator.qps_evolution(index, report, workload, num_points):
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "method": method,
+                    "time_seconds": timestamp,
+                    "queries_per_second": qps,
+                }
+            )
+    return rows
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
+    """Regenerate Figure 13 on NY (and FLA when not in quick mode)."""
+    datasets = ("NY",) if quick else ("NY", "FLA")
+    methods = method_names(quick=quick)
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(qps_evolution_rows(dataset, methods, config))
+    return rows

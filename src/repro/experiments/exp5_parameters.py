@@ -1,0 +1,77 @@
+"""Exp 5 / Figure 14 — effect of update volume |U|, interval δt and QoS R*_q.
+
+The paper sweeps the three workload parameters on NY, FLA and SC: throughput
+drops as |U| grows (longer maintenance), rises (for the proposed methods) with
+larger δt and larger R*_q, while index-free / update-oriented baselines stay
+flat because their bottleneck is query time, not maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.methods import build_method, method_names
+from repro.experiments.runner import measure_throughput, prepare_dataset
+
+
+def parameter_sweep_rows(
+    dataset: str,
+    methods: Optional[Sequence[str]] = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[Dict[str, object]]:
+    """Three sweeps (|U|, δt, R*_q) for every method on one dataset."""
+    methods = list(methods) if methods is not None else method_names()
+    graph = prepare_dataset(dataset)
+    rows: List[Dict[str, object]] = []
+    for method in methods:
+        working = graph.copy()
+        index = build_method(method, working, config)
+        try:
+            index.build()
+        except NotImplementedError:  # pragma: no cover - defensive
+            continue
+
+        for volume in config.update_volume_grid:
+            result = _safe_throughput(method, dataset, config, index, update_volume=volume)
+            if result is not None:
+                rows.append(_row(dataset, method, "update_volume", volume, result))
+        for interval in config.update_interval_grid:
+            result = _safe_throughput(method, dataset, config, index, update_interval=interval)
+            if result is not None:
+                rows.append(_row(dataset, method, "update_interval", interval, result))
+        for qos in config.response_qos_grid:
+            result = _safe_throughput(method, dataset, config, index, response_qos=qos)
+            if result is not None:
+                rows.append(_row(dataset, method, "response_qos", qos, result))
+    return rows
+
+
+def _safe_throughput(method, dataset, config, index, **kwargs):
+    try:
+        return measure_throughput(
+            method, dataset, config, graph=index.graph, prebuilt=index, **kwargs
+        )
+    except NotImplementedError:
+        return None
+
+
+def _row(dataset, method, parameter, value, result) -> Dict[str, object]:
+    return {
+        "dataset": dataset,
+        "method": method,
+        "parameter": parameter,
+        "value": value,
+        "throughput": result.max_throughput,
+        "update_wall_seconds": result.update_wall_seconds,
+    }
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
+    """Regenerate Figure 14 (quick mode restricts to NY and the method subset)."""
+    datasets = ("NY",) if quick else ("NY", "FLA", "SC")
+    methods = method_names(quick=quick)
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(parameter_sweep_rows(dataset, methods, config))
+    return rows

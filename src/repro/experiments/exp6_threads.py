@@ -1,0 +1,74 @@
+"""Exp 6 / Figure 15 — effect of the thread number ``p``.
+
+The paper varies the maintenance thread count from 1 to 160 and reports (a)
+the update-time speedup and (b) the throughput speedup of PMHL and PostMHL.
+Both rise with ``p`` and then plateau: the overlay update is not parallelised
+and the number of partitions bounds the usable parallelism.  Here threads are
+virtual (see DESIGN.md §3) — per-partition sequential times are scheduled onto
+``p`` workers by the parallel cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.methods import build_method
+from repro.experiments.runner import prepare_dataset, prepare_workload
+from repro.graph.updates import generate_update_batch
+from repro.throughput.evaluator import ThroughputEvaluator
+from repro.throughput.parallel import report_wall_seconds
+
+
+def thread_sweep_rows(
+    dataset: str,
+    methods: Sequence[str] = ("PMHL", "PostMHL"),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[Dict[str, object]]:
+    """Update time and throughput for every thread count, per method."""
+    graph = prepare_dataset(dataset)
+    rows: List[Dict[str, object]] = []
+    for method in methods:
+        working = graph.copy()
+        index = build_method(method, working, config)
+        index.build()
+        workload = prepare_workload(working, config)
+        batch = generate_update_batch(working, config.update_volume, seed=config.seed)
+        report = index.apply_batch(batch)
+
+        base_update = report_wall_seconds(report, 1)
+        base_throughput = None
+        for threads in config.thread_grid:
+            evaluator = ThroughputEvaluator(
+                update_interval=config.update_interval,
+                response_qos=config.response_qos,
+                threads=threads,
+                query_sample_size=config.query_sample_size,
+            )
+            result = evaluator.evaluate_from_report(index, report, workload)
+            update_wall = report_wall_seconds(report, threads)
+            if base_throughput is None:
+                base_throughput = result.max_throughput or 1e-12
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "method": method,
+                    "threads": threads,
+                    "update_wall_seconds": update_wall,
+                    "update_speedup": base_update / update_wall if update_wall > 0 else 1.0,
+                    "throughput": result.max_throughput,
+                    "throughput_speedup": (
+                        result.max_throughput / base_throughput if base_throughput else 0.0
+                    ),
+                }
+            )
+    return rows
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
+    """Regenerate Figure 15 on NY (and FLA when not in quick mode)."""
+    datasets = ("NY",) if quick else ("NY", "FLA")
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(thread_sweep_rows(dataset, config=config))
+    return rows

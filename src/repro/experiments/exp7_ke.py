@@ -1,0 +1,53 @@
+"""Exp 7 / Figure 17 — effect of the expected partition number ``k_e`` on PostMHL.
+
+As for PMHL's ``k``, both small and large ``k_e`` reduce throughput: few
+partitions limit parallel maintenance while many partitions enlarge the
+overlay (whose maintenance is sequential) and the boundary arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.postmhl import PostMHLIndex
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import measure_throughput, prepare_dataset
+
+
+def ke_sweep_rows(
+    dataset: str,
+    expected_partitions_grid: Sequence[int],
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[Dict[str, object]]:
+    """One row per ``k_e``: realised partitions, overlay size, update time, throughput."""
+    graph = prepare_dataset(dataset)
+    rows: List[Dict[str, object]] = []
+    for ke in expected_partitions_grid:
+        working = graph.copy()
+        index = PostMHLIndex(
+            working, bandwidth=config.bandwidth, expected_partitions=ke
+        )
+        index.build()
+        result = measure_throughput(
+            "PostMHL", dataset, config, graph=working, prebuilt=index
+        )
+        rows.append(
+            {
+                "dataset": dataset,
+                "ke": ke,
+                "realised_partitions": index.td.num_partitions,
+                "overlay_vertices": index.overlay_vertex_count,
+                "update_wall_seconds": result.update_wall_seconds,
+                "throughput": result.max_throughput,
+            }
+        )
+    return rows
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
+    """Regenerate Figure 17 on the configured datasets."""
+    datasets = config.quick_datasets if quick else ("FLA", "EC", "W")
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(ke_sweep_rows(dataset, config.expected_partitions_grid, config))
+    return rows

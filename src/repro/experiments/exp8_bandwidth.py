@@ -1,0 +1,66 @@
+"""Exp 8 / Figure 18 — effect of the TD-partitioning bandwidth ``τ`` on PostMHL.
+
+Larger ``τ`` admits more subtree roots, shrinking the overlay vertex count but
+enlarging the per-partition boundary, which slows the post-boundary query
+stage (Q-Stage 3); smaller ``τ`` enlarges the overlay, whose sequential
+maintenance slows the update and hence the throughput.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Dict, List, Sequence
+
+from repro.core.postmhl import PostMHLIndex
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import measure_throughput, prepare_dataset, prepare_workload
+
+
+def bandwidth_sweep_rows(
+    dataset: str,
+    bandwidth_grid: Sequence[int],
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[Dict[str, object]]:
+    """One row per ``τ``: overlay size, Q-Stage-3 query time, update time, throughput."""
+    graph = prepare_dataset(dataset)
+    rows: List[Dict[str, object]] = []
+    for bandwidth in bandwidth_grid:
+        working = graph.copy()
+        index = PostMHLIndex(
+            working,
+            bandwidth=bandwidth,
+            expected_partitions=config.expected_partitions,
+        )
+        index.build()
+        workload = prepare_workload(working, config)
+        q3_samples = []
+        for source, target in list(workload)[: config.query_sample_size]:
+            start = time.perf_counter()
+            index.query_post_boundary(source, target)
+            q3_samples.append(time.perf_counter() - start)
+        result = measure_throughput(
+            "PostMHL", dataset, config, graph=working, prebuilt=index
+        )
+        rows.append(
+            {
+                "dataset": dataset,
+                "bandwidth": bandwidth,
+                "realised_partitions": index.td.num_partitions,
+                "overlay_vertices": index.overlay_vertex_count,
+                "max_boundary": index.td.max_boundary_size(),
+                "q3_query_seconds": statistics.fmean(q3_samples) if q3_samples else 0.0,
+                "update_wall_seconds": result.update_wall_seconds,
+                "throughput": result.max_throughput,
+            }
+        )
+    return rows
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
+    """Regenerate Figure 18 on NY (and FLA when not in quick mode)."""
+    datasets = ("NY",) if quick else ("NY", "FLA")
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(bandwidth_sweep_rows(dataset, config.bandwidth_grid, config))
+    return rows

@@ -1,0 +1,73 @@
+"""Method registry: build any of the paper's compared methods by name.
+
+The evaluation compares eight methods (Section VII-A): BiDijkstra, DCH, DH2H,
+TOAIN, N-CH-P, P-TD-P, PMHL and PostMHL.  This registry instantiates each of
+them with the experiment configuration so every experiment driver builds
+methods the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.base import DistanceIndex
+from repro.baselines.bidijkstra_index import BiDijkstraIndex
+from repro.baselines.toain import TOAINIndex
+from repro.core.pmhl import PMHLIndex
+from repro.core.postmhl import PostMHLIndex
+from repro.experiments.config import ExperimentConfig
+from repro.graph.graph import Graph
+from repro.hierarchy.ch import DCHIndex
+from repro.labeling.h2h import DH2HIndex
+from repro.psp.no_boundary import NCHPIndex
+from repro.psp.post_boundary import PTDPIndex
+
+#: Method names in the order the paper's figures list them.
+ALL_METHODS = (
+    "BiDijkstra",
+    "DCH",
+    "DH2H",
+    "TOAIN",
+    "N-CH-P",
+    "P-TD-P",
+    "PMHL",
+    "PostMHL",
+)
+
+#: Methods used by the quick benchmark runs (all of the paper's methods; the
+#: quick configuration only shrinks the datasets and parameter grids).
+QUICK_METHODS = ALL_METHODS
+
+
+def build_method(name: str, graph: Graph, config: ExperimentConfig) -> DistanceIndex:
+    """Instantiate (but do not build) the method ``name`` on ``graph``."""
+    builders: Dict[str, Callable[[], DistanceIndex]] = {
+        "BiDijkstra": lambda: BiDijkstraIndex(graph),
+        "DCH": lambda: DCHIndex(graph),
+        "DH2H": lambda: DH2HIndex(graph),
+        "TOAIN": lambda: TOAINIndex(graph, checkin_fraction=config.toain_checkin_fraction),
+        "N-CH-P": lambda: NCHPIndex(
+            graph, num_partitions=config.partition_number, seed=config.seed
+        ),
+        "P-TD-P": lambda: PTDPIndex(
+            graph, num_partitions=config.partition_number, seed=config.seed
+        ),
+        "PMHL": lambda: PMHLIndex(
+            graph, num_partitions=config.partition_number, seed=config.seed
+        ),
+        "PostMHL": lambda: PostMHLIndex(
+            graph,
+            bandwidth=config.bandwidth,
+            expected_partitions=config.expected_partitions,
+        ),
+    }
+    try:
+        return builders[name]()
+    except KeyError as exc:
+        known = ", ".join(ALL_METHODS)
+        raise ValueError(f"unknown method {name!r}; known methods: {known}") from exc
+
+
+def method_names(quick: bool = False) -> List[str]:
+    """Names of the compared methods (quick subset or all)."""
+    return list(QUICK_METHODS if quick else ALL_METHODS)

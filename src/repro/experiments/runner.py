@@ -1,0 +1,179 @@
+"""Shared experiment machinery: per-method measurements and table formatting.
+
+Every experiment driver reduces to a few calls into this module:
+
+* :func:`measure_index_performance` — construction time, index size, query
+  time and update time of one method on one dataset (the paper's Figure 11),
+* :func:`measure_throughput` — the maximum sustainable throughput ``λ*_q`` of
+  one method under one parameter setting (Figures 12 and 14),
+* :func:`format_table` — plain-text rendering of result rows, which is what
+  the benchmark harness prints so the paper's tables can be eyeballed
+  directly from the bench output.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.base import DistanceIndex
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.methods import build_method
+from repro.graph.generators import load_dataset
+from repro.graph.graph import Graph
+from repro.graph.updates import UpdateBatch, generate_update_batch
+from repro.throughput.evaluator import ThroughputEvaluator, ThroughputResult
+from repro.throughput.parallel import report_wall_seconds
+from repro.throughput.workload import QueryWorkload, sample_query_pairs
+
+
+@dataclass
+class IndexPerformance:
+    """Figure-11-style measurements of one method on one dataset."""
+
+    method: str
+    dataset: str
+    build_seconds: float
+    index_size: int
+    query_seconds: float
+    update_seconds: float
+
+
+def prepare_dataset(name: str) -> Graph:
+    """Build the synthetic analog of a paper dataset."""
+    return load_dataset(name)
+
+
+def prepare_workload(
+    graph: Graph, config: ExperimentConfig = DEFAULT_CONFIG, seed_offset: int = 0
+) -> QueryWorkload:
+    """Sample the query workload used by the measurements."""
+    return sample_query_pairs(
+        graph, config.query_sample_size, seed=config.seed + seed_offset
+    )
+
+
+def measure_query_seconds(
+    index: DistanceIndex, workload: QueryWorkload, sample: Optional[int] = None
+) -> float:
+    """Average per-query time of an index over (a prefix of) the workload.
+
+    A single untimed warm-up query is issued first (see
+    :func:`repro.throughput.evaluator.measure_query_cost`).
+    """
+    pairs = list(workload)
+    if sample is not None:
+        pairs = pairs[:sample]
+    if pairs:
+        index.query(pairs[0][0], pairs[0][1])
+    timings = []
+    for source, target in pairs:
+        start = time.perf_counter()
+        index.query(source, target)
+        timings.append(time.perf_counter() - start)
+    return statistics.fmean(timings) if timings else 0.0
+
+
+def measure_index_performance(
+    method: str,
+    dataset: str,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    graph: Optional[Graph] = None,
+) -> IndexPerformance:
+    """Construction time, size, query time and update time of one method."""
+    graph = graph if graph is not None else prepare_dataset(dataset)
+    graph = graph.copy()
+    index = build_method(method, graph, config)
+    build_seconds = index.build()
+    workload = prepare_workload(graph, config)
+    query_seconds = measure_query_seconds(index, workload)
+    batch = generate_update_batch(graph, config.update_volume, seed=config.seed)
+    try:
+        report = index.apply_batch(batch)
+        update_seconds = report_wall_seconds(report, config.threads)
+    except NotImplementedError:
+        update_seconds = float("inf")
+    return IndexPerformance(
+        method=method,
+        dataset=dataset,
+        build_seconds=build_seconds,
+        index_size=index.index_size(),
+        query_seconds=query_seconds,
+        update_seconds=update_seconds,
+    )
+
+
+def measure_throughput(
+    method: str,
+    dataset: str,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    graph: Optional[Graph] = None,
+    update_volume: Optional[int] = None,
+    update_interval: Optional[float] = None,
+    response_qos: Optional[float] = None,
+    threads: Optional[int] = None,
+    prebuilt: Optional[DistanceIndex] = None,
+) -> ThroughputResult:
+    """Maximum sustainable throughput of one method under one setting."""
+    graph = graph if graph is not None else prepare_dataset(dataset)
+    if prebuilt is None:
+        graph = graph.copy()
+        index = build_method(method, graph, config)
+        index.build()
+    else:
+        index = prebuilt
+        graph = index.graph
+    workload = prepare_workload(graph, config)
+    evaluator = ThroughputEvaluator(
+        update_interval=update_interval or config.update_interval,
+        response_qos=response_qos or config.response_qos,
+        threads=threads or config.threads,
+        query_sample_size=config.query_sample_size,
+    )
+    batch = generate_update_batch(
+        graph, update_volume or config.update_volume, seed=config.seed
+    )
+    return evaluator.evaluate(index, batch, workload)
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render result rows as a fixed-width plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_format_cell(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(cells[i]) for cells in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(cells[i].ljust(widths[i]) for i in range(len(columns)))
+        for cells in rendered_rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_experiment(title: str, rows: Iterable[Dict[str, object]],
+                     columns: Optional[Sequence[str]] = None) -> str:
+    """Format and print an experiment's rows; returns the rendered text."""
+    rows = list(rows)
+    text = f"\n=== {title} ===\n" + format_table(rows, columns)
+    print(text)
+    return text

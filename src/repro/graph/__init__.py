@@ -1,0 +1,54 @@
+"""Road-network graph substrate: graph structure, I/O, generators, updates."""
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    DATASET_SPECS,
+    DatasetSpec,
+    dataset_names,
+    grid_road_network,
+    highway_network,
+    load_dataset,
+    random_connected_graph,
+)
+from repro.graph.io import (
+    read_dimacs_co,
+    read_dimacs_gr,
+    read_edge_list,
+    write_dimacs_co,
+    write_dimacs_gr,
+    write_edge_list,
+)
+from repro.graph.updates import (
+    EdgeUpdate,
+    UpdateBatch,
+    generate_update_batch,
+    generate_update_stream,
+    split_intra_inter,
+)
+from repro.graph.validation import GraphStats, assert_valid, graph_stats, validate_graph
+
+__all__ = [
+    "Graph",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "dataset_names",
+    "grid_road_network",
+    "highway_network",
+    "load_dataset",
+    "random_connected_graph",
+    "read_dimacs_gr",
+    "read_dimacs_co",
+    "read_edge_list",
+    "write_dimacs_gr",
+    "write_dimacs_co",
+    "write_edge_list",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "generate_update_batch",
+    "generate_update_stream",
+    "split_intra_inter",
+    "GraphStats",
+    "graph_stats",
+    "validate_graph",
+    "assert_valid",
+]

@@ -1,0 +1,5 @@
+"""Hierarchy-based indexes: Contraction Hierarchies and Dynamic CH."""
+
+from repro.hierarchy.ch import CHIndex, DCHIndex, ch_bidirectional_query
+
+__all__ = ["CHIndex", "DCHIndex", "ch_bidirectional_query"]

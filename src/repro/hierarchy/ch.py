@@ -1,0 +1,181 @@
+"""Contraction Hierarchies (CH) and Dynamic CH (DCH).
+
+CH builds a hierarchical shortcut index by contracting vertices in ascending
+importance order; a query is a bidirectional Dijkstra that only relaxes edges
+from lower-rank to higher-rank vertices (Section III-A of the paper).  DCH
+[Ouyang et al., VLDB 2020] maintains the shortcut values under edge-weight
+changes; here maintenance is realised with the supporter-based bottom-up
+recomputation of :func:`repro.treedec.mde.update_shortcuts_bottom_up`, which
+handles both weight increases and decreases.
+
+The query routine is written against an abstract "upward neighbour" callback so
+the partitioned CH query of PMHL (a search over the union of the partition and
+overlay shortcut arrays) can reuse it unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
+from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.graph.updates import UpdateBatch
+from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
+
+INF = math.inf
+
+UpwardNeighbors = Callable[[int], Mapping[int, float]]
+
+
+def ch_bidirectional_query(
+    source: int,
+    target: int,
+    upward_neighbors: UpwardNeighbors,
+) -> float:
+    """Bidirectional upward search used by CH-style indexes.
+
+    ``upward_neighbors(v)`` must return a mapping of higher-rank neighbours to
+    shortcut weights.  The search is correct for any shortcut set produced by
+    a full vertex contraction because every shortest path has a unique
+    highest-rank vertex reachable from both endpoints via upward edges.
+    """
+    if source == target:
+        return 0.0
+
+    dist_f: Dict[int, float] = {source: 0.0}
+    dist_b: Dict[int, float] = {target: 0.0}
+    heap_f: List[Tuple[float, int]] = [(0.0, source)]
+    heap_b: List[Tuple[float, int]] = [(0.0, target)]
+    settled_f: Dict[int, float] = {}
+    settled_b: Dict[int, float] = {}
+    best = INF
+
+    while heap_f or heap_b:
+        top_f = heap_f[0][0] if heap_f else INF
+        top_b = heap_b[0][0] if heap_b else INF
+        if min(top_f, top_b) >= best:
+            break
+        if top_f <= top_b and heap_f:
+            d, v = heapq.heappop(heap_f)
+            if v in settled_f:
+                continue
+            settled_f[v] = d
+            if v in dist_b:
+                best = min(best, d + dist_b[v])
+            for u, w in upward_neighbors(v).items():
+                nd = d + w
+                if nd < dist_f.get(u, INF):
+                    dist_f[u] = nd
+                    heapq.heappush(heap_f, (nd, u))
+                    if u in dist_b:
+                        best = min(best, nd + dist_b[u])
+        elif heap_b:
+            d, v = heapq.heappop(heap_b)
+            if v in settled_b:
+                continue
+            settled_b[v] = d
+            if v in dist_f:
+                best = min(best, d + dist_f[v])
+            for u, w in upward_neighbors(v).items():
+                nd = d + w
+                if nd < dist_b.get(u, INF):
+                    dist_b[u] = nd
+                    heapq.heappush(heap_b, (nd, u))
+                    if u in dist_f:
+                        best = min(best, nd + dist_f[u])
+        else:
+            break
+    return best
+
+
+class CHIndex(DistanceIndex):
+    """Static Contraction Hierarchies index.
+
+    Parameters
+    ----------
+    graph:
+        Road network (kept by reference; updates mutate it in place).
+    order:
+        Optional explicit contraction order (ascending importance).
+    tiers:
+        Optional tier map for tiered minimum-degree ordering (used to impose
+        the boundary-first property).
+    """
+
+    name = "CH"
+
+    def __init__(
+        self,
+        graph: Graph,
+        order: Optional[Sequence[int]] = None,
+        tiers: Optional[Dict[int, int]] = None,
+    ):
+        super().__init__(graph)
+        self._order = list(order) if order is not None else None
+        self._tiers = dict(tiers) if tiers is not None else None
+        self.contraction: Optional[ContractionResult] = None
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        self.contraction = contract_graph(self.graph, order=self._order, tiers=self._tiers)
+
+    def _require_built(self) -> ContractionResult:
+        if self.contraction is None:
+            raise IndexNotBuiltError(f"{self.name} index has not been built")
+        return self.contraction
+
+    def upward_neighbors(self, v: int) -> Mapping[int, float]:
+        """Upward (higher-rank) shortcut neighbours of ``v``."""
+        return self._require_built().shortcuts[v]
+
+    def query(self, source: int, target: int) -> float:
+        contraction = self._require_built()
+        if source not in contraction.rank:
+            raise VertexNotFoundError(source)
+        if target not in contraction.rank:
+            raise VertexNotFoundError(target)
+        return ch_bidirectional_query(source, target, self.upward_neighbors)
+
+    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        raise NotImplementedError(
+            "CHIndex is static; use DCHIndex for dynamic maintenance"
+        )
+
+    def index_size(self) -> int:
+        return self._require_built().shortcut_count()
+
+    @property
+    def rank(self) -> Dict[int, int]:
+        """Vertex rank (ascending importance) used by the hierarchy."""
+        return self._require_built().rank
+
+
+class DCHIndex(CHIndex):
+    """Dynamic Contraction Hierarchies (the paper's DCH baseline).
+
+    Index maintenance traces affected shortcuts bottom-up using the supporter
+    records collected at construction time.  The update report contains a
+    single ``shortcut_update`` stage; queries are available again once that
+    stage finishes (plus the trivial on-spot edge refresh).
+    """
+
+    name = "DCH"
+
+    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        contraction = self._require_built()
+        report = UpdateReport()
+
+        with Timer() as timer:
+            batch.apply(self.graph)
+        report.stages.append(StageTiming("edge_update", timer.seconds))
+
+        with Timer() as timer:
+            changed = update_shortcuts_bottom_up(
+                contraction, self.graph, [update.key() for update in batch]
+            )
+        report.stages.append(StageTiming("shortcut_update", timer.seconds))
+        self.last_changed_shortcuts = changed
+        return report

@@ -1,0 +1,264 @@
+"""Hierarchical 2-Hop Labeling (H2H) and its dynamic version (DH2H).
+
+H2H [Ouyang et al., SIGMOD 2018] builds a tree decomposition via MDE and
+stores, for every vertex ``v``:
+
+* ``X(v).A`` — the ancestor chain from the root down to ``v`` (the index of an
+  ancestor inside the chain equals its tree depth),
+* ``X(v).dis`` — distances from ``v`` to every vertex of ``X(v).A`` (the last
+  entry, the distance to itself, is 0), and
+* ``X(v).pos`` — positions inside ``X(v).A`` of the vertices of
+  ``X(v) = {v} ∪ X(v).N``.
+
+A query ``q(s, t)`` finds the LCA ``X`` of ``X(s)`` and ``X(t)`` and returns
+``min_{i ∈ X.pos} X(s).dis[i] + X(t).dis[i]``.
+
+DH2H [Zhang et al., ICDE 2021] maintains the index in two phases: a bottom-up
+*shortcut update* (shared with DCH) followed by a top-down *label update* that
+only recomputes distance arrays inside the subtrees rooted at the shallowest
+affected tree nodes, pruning untouched branches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
+from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.graph.updates import UpdateBatch
+from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
+from repro.treedec.tree import TreeDecomposition
+
+INF = math.inf
+
+
+class H2HLabels:
+    """Distance and position arrays of an H2H-style index over a tree decomposition."""
+
+    def __init__(self, tree: TreeDecomposition):
+        self.tree = tree
+        #: ``dis[v][j]`` = distance from ``v`` to its ancestor at depth ``j``.
+        self.dis: Dict[int, List[float]] = {}
+        #: ``pos[v]`` = ancestor-chain positions of ``{v} ∪ X(v).N``.
+        self.pos: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self, vertices: Optional[Iterable[int]] = None) -> None:
+        """Build the distance/position arrays top-down.
+
+        ``vertices`` optionally restricts construction to a subset that is
+        closed under taking ancestors (used by PostMHL to build the overlay
+        index first and the partition indexes later).
+        """
+        allowed = set(vertices) if vertices is not None else None
+        for v in self.tree.top_down_order():
+            if allowed is not None and v not in allowed:
+                continue
+            self.recompute_vertex(v)
+
+    def recompute_vertex(self, v: int) -> List[float]:
+        """(Re)compute the distance array of ``v`` from its neighbours' arrays.
+
+        Returns the new distance array (also stored in ``self.dis``).
+        """
+        tree = self.tree
+        anc = tree.ancestors[v]
+        depth = tree.depth
+        m = len(anc)
+        neighbors = tree.neighbors(v)
+        shortcuts = tree.contraction.shortcuts[v]
+
+        new = [INF] * m
+        new[m - 1] = 0.0
+        for j in range(m - 1):
+            ancestor = anc[j]
+            best = INF
+            for x in neighbors:
+                px = depth[x]
+                if px > j:
+                    d = self.dis[x][j]
+                else:
+                    d = self.dis[ancestor][px]
+                candidate = shortcuts[x] + d
+                if candidate < best:
+                    best = candidate
+            new[j] = best
+        self.dis[v] = new
+        self.pos[v] = [depth[x] for x in neighbors] + [m - 1]
+        return new
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int) -> float:
+        """2-hop query through the LCA separator.
+
+        Returns ``inf`` when the vertices lie in different components of the
+        (forest) decomposition — i.e. they are unreachable in the indexed graph.
+        """
+        if source == target:
+            return 0.0
+        if not self.tree.same_component(source, target):
+            return INF
+        lca = self.tree.lca(source, target)
+        dis_s = self.dis[source]
+        dis_t = self.dis[target]
+        best = INF
+        for i in self.pos[lca]:
+            candidate = dis_s[i] + dis_t[i]
+            if candidate < best:
+                best = candidate
+        return best
+
+    def distance_to_ancestor(self, v: int, ancestor: int) -> float:
+        """Distance from ``v`` to one of its ancestors (O(1) label lookup)."""
+        return self.dis[v][self.tree.depth[ancestor]]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def update_top_down(
+        self, affected: Iterable[int], allowed: Optional[Set[int]] = None
+    ) -> Set[int]:
+        """Top-down label update (the DH2H label phase).
+
+        ``affected`` is the set of vertices whose shortcut arrays changed.  The
+        distance arrays of those vertices and of any descendant whose ancestor
+        labels changed are recomputed; the set of vertices whose distance array
+        actually changed is returned (the "affected vertex set" ``V_A``
+        consumed by later PMHL/PostMHL stages).
+
+        ``allowed`` optionally restricts the update to a vertex subset closed
+        under taking ancestors (e.g. the overlay vertices of PostMHL); children
+        outside the subset are not descended into.
+        """
+        affected_set = {v for v in affected if v in self.dis}
+        if allowed is not None:
+            affected_set &= allowed
+        changed: Set[int] = set()
+        if not affected_set:
+            return changed
+        for root in self.tree.branch_roots(sorted(affected_set)):
+            stack = [(root, False)]
+            while stack:
+                v, ancestor_changed = stack.pop()
+                vertex_changed = False
+                if ancestor_changed or v in affected_set:
+                    old = self.dis.get(v)
+                    new = self.recompute_vertex(v)
+                    if old != new:
+                        vertex_changed = True
+                        changed.add(v)
+                flag = ancestor_changed or vertex_changed
+                for child in self.tree.children[v]:
+                    if child not in self.dis:
+                        continue
+                    if allowed is not None and child not in allowed:
+                        continue
+                    stack.append((child, flag))
+        return changed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def label_entry_count(self) -> int:
+        """Total number of stored distance-label entries."""
+        return sum(len(entries) for entries in self.dis.values())
+
+
+class H2HIndex(DistanceIndex):
+    """Static H2H index (tree decomposition + distance/position arrays)."""
+
+    name = "H2H"
+
+    def __init__(
+        self,
+        graph: Graph,
+        order: Optional[Sequence[int]] = None,
+        tiers: Optional[Dict[int, int]] = None,
+    ):
+        super().__init__(graph)
+        self._order = list(order) if order is not None else None
+        self._tiers = dict(tiers) if tiers is not None else None
+        self.contraction: Optional[ContractionResult] = None
+        self.tree: Optional[TreeDecomposition] = None
+        self.labels: Optional[H2HLabels] = None
+
+    def _build(self) -> None:
+        self.contraction = contract_graph(self.graph, order=self._order, tiers=self._tiers)
+        self.tree = TreeDecomposition.from_contraction(self.contraction)
+        self.labels = H2HLabels(self.tree)
+        self.labels.build()
+
+    def _require_built(self) -> H2HLabels:
+        if self.labels is None:
+            raise IndexNotBuiltError(f"{self.name} index has not been built")
+        return self.labels
+
+    def query(self, source: int, target: int) -> float:
+        labels = self._require_built()
+        if source not in self.contraction.rank:
+            raise VertexNotFoundError(source)
+        if target not in self.contraction.rank:
+            raise VertexNotFoundError(target)
+        return labels.query(source, target)
+
+    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        raise NotImplementedError("H2HIndex is static; use DH2HIndex for dynamic maintenance")
+
+    def index_size(self) -> int:
+        labels = self._require_built()
+        return labels.label_entry_count() + self.contraction.shortcut_count()
+
+    @property
+    def tree_height(self) -> int:
+        self._require_built()
+        return self.tree.height
+
+    @property
+    def treewidth(self) -> int:
+        self._require_built()
+        return self.tree.treewidth
+
+
+class DH2HIndex(H2HIndex):
+    """Dynamic H2H (the paper's DH2H baseline).
+
+    ``apply_batch`` reports three stages:
+
+    1. ``edge_update`` — on-spot refresh of the graph weights,
+    2. ``shortcut_update`` — bottom-up shortcut maintenance, and
+    3. ``label_update`` — top-down distance-array maintenance.
+
+    Queries on the H2H labels are only correct again after stage 3, which is
+    exactly why the paper's Figure 1 shows DH2H with a long index-unavailable
+    period.
+    """
+
+    name = "DH2H"
+
+    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        labels = self._require_built()
+        report = UpdateReport()
+
+        with Timer() as timer:
+            batch.apply(self.graph)
+        report.stages.append(StageTiming("edge_update", timer.seconds))
+
+        with Timer() as timer:
+            changed_shortcuts = update_shortcuts_bottom_up(
+                self.contraction, self.graph, [update.key() for update in batch]
+            )
+        report.stages.append(StageTiming("shortcut_update", timer.seconds))
+
+        with Timer() as timer:
+            changed_labels = labels.update_top_down(changed_shortcuts.keys())
+        report.stages.append(StageTiming("label_update", timer.seconds))
+
+        self.last_changed_shortcuts = changed_shortcuts
+        self.last_changed_labels = changed_labels
+        return report

@@ -1,0 +1,28 @@
+"""Graph partitioning: region growing, coordinate bisection, natural-cut, TD-partitioning."""
+
+from repro.partitioning.base import Partitioning, partitioning_from_sets
+from repro.partitioning.bfs_grow import bfs_partition, refine_boundary
+from repro.partitioning.kdtree import kdtree_partition
+from repro.partitioning.natural_cut import natural_cut_partition
+from repro.partitioning.ordering import (
+    boundary_first_order,
+    boundary_first_tiers,
+    rank_of,
+    restrict_order,
+)
+from repro.partitioning.td_partition import TDPartitioning, td_partition
+
+__all__ = [
+    "Partitioning",
+    "partitioning_from_sets",
+    "bfs_partition",
+    "refine_boundary",
+    "kdtree_partition",
+    "natural_cut_partition",
+    "boundary_first_order",
+    "boundary_first_tiers",
+    "restrict_order",
+    "rank_of",
+    "TDPartitioning",
+    "td_partition",
+]

@@ -1,0 +1,150 @@
+"""Tree Decomposition-based graph partitioning (TD-partitioning, Algorithm 2).
+
+Section VI-A of the paper inverts the usual PSP pipeline: instead of deriving a
+vertex order from an externally computed partitioning, it derives the
+partitioning from the high-quality MDE vertex order.  Each partition is the
+subtree of a chosen *root vertex* ``u``; the root's tree-node neighbour set
+``X(u).N`` is a vertex separator between the subtree and the rest of the graph
+and therefore serves as the partition's boundary ``B_i``.  Vertices outside all
+partition subtrees form the overlay graph.
+
+Root candidates are constrained by a *bandwidth* ``τ`` (maximum boundary size,
+i.e. ``|X(u).N| ≤ τ``) and partition-size bounds ``β_l·|V|/k_e ≤ |subtree(u)| ≤
+β_u·|V|/k_e``; among candidates, the "minimum overlay" strategy greedily keeps
+the highest-order candidates whose subtrees do not overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.exceptions import PartitioningError
+from repro.treedec.tree import TreeDecomposition
+
+
+@dataclass
+class TDPartitioning:
+    """Result of TD-partitioning: partition subtrees plus an overlay vertex set.
+
+    Unlike :class:`repro.partitioning.base.Partitioning`, not every vertex
+    belongs to a partition: the ancestors of the partition roots (and any
+    vertex outside every chosen subtree) form the overlay.
+    """
+
+    tree: TreeDecomposition
+    roots: List[int]
+    partition_vertices: List[List[int]] = field(default_factory=list)
+    boundary: List[List[int]] = field(default_factory=list)
+    vertex_partition: Dict[int, Optional[int]] = field(default_factory=dict)
+    overlay_vertices: Set[int] = field(default_factory=set)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.roots)
+
+    def partition_of(self, v: int) -> Optional[int]:
+        """Partition id of ``v`` or ``None`` when ``v`` is an overlay vertex."""
+        return self.vertex_partition[v]
+
+    def max_boundary_size(self) -> int:
+        """``|B_max|`` over all partitions (0 when there are no partitions)."""
+        return max((len(b) for b in self.boundary), default=0)
+
+    def sizes(self) -> List[int]:
+        return [len(members) for members in self.partition_vertices]
+
+    def validate(self) -> List[str]:
+        """Structural sanity checks; returns a list of problems found."""
+        problems: List[str] = []
+        seen: Set[int] = set()
+        for pid, members in enumerate(self.partition_vertices):
+            overlap = seen.intersection(members)
+            if overlap:
+                problems.append(f"partition {pid} overlaps earlier partitions: {sorted(overlap)[:5]}")
+            seen.update(members)
+        if seen & self.overlay_vertices:
+            problems.append("overlay vertices overlap partition vertices")
+        total = len(seen) + len(self.overlay_vertices)
+        if total != self.tree.num_vertices:
+            problems.append(
+                f"{total} vertices covered but the tree has {self.tree.num_vertices}"
+            )
+        for pid, boundary in enumerate(self.boundary):
+            outside = [b for b in boundary if b not in self.overlay_vertices]
+            if outside:
+                problems.append(f"partition {pid} boundary vertices not in overlay: {outside[:5]}")
+        return problems
+
+
+def td_partition(
+    tree: TreeDecomposition,
+    bandwidth: int,
+    expected_partitions: int,
+    beta_lower: float = 0.1,
+    beta_upper: float = 2.0,
+) -> TDPartitioning:
+    """Algorithm 2 of the paper: TD-partitioning.
+
+    Parameters
+    ----------
+    tree:
+        MDE-based tree decomposition of the road network.
+    bandwidth:
+        ``τ`` — maximum allowed boundary size (``|X(u).N|``) of a partition.
+    expected_partitions:
+        ``k_e`` — desired number of partitions (the realised number may be
+        smaller when few subtrees satisfy the constraints).
+    beta_lower, beta_upper:
+        ``β_l`` and ``β_u`` — partition-size imbalance bounds relative to the
+        ideal size ``|V| / k_e``.
+    """
+    if bandwidth < 1:
+        raise PartitioningError(f"bandwidth must be >= 1, got {bandwidth}")
+    if expected_partitions < 1:
+        raise PartitioningError(
+            f"expected_partitions must be >= 1, got {expected_partitions}"
+        )
+    if beta_lower < 0 or beta_upper <= 0 or beta_lower > beta_upper:
+        raise PartitioningError(
+            f"invalid size bounds beta_lower={beta_lower}, beta_upper={beta_upper}"
+        )
+
+    n = tree.num_vertices
+    ideal = n / expected_partitions
+    lower = beta_lower * ideal
+    upper = beta_upper * ideal
+    sizes = tree.subtree_sizes()
+    rank = tree.contraction.rank
+
+    # Root candidates, scanned in decreasing vertex order (Algorithm 2 line 7).
+    # A candidate must have a non-empty neighbour set: a subtree with no
+    # separator would swallow the whole component and leave no overlay graph.
+    candidates = [
+        v
+        for v in sorted(tree.parent, key=lambda x: -rank[x])
+        if lower <= sizes[v] <= upper and 1 <= len(tree.neighbors(v)) <= bandwidth
+    ]
+
+    # Minimum-overlay selection: keep candidates whose subtrees are disjoint.
+    roots: List[int] = []
+    for v in candidates:
+        if len(roots) >= expected_partitions:
+            break
+        independent = all(
+            not tree.is_ancestor(u, v) and not tree.is_ancestor(v, u) for u in roots
+        )
+        if independent:
+            roots.append(v)
+
+    result = TDPartitioning(tree=tree, roots=roots)
+    vertex_partition: Dict[int, Optional[int]] = {v: None for v in tree.parent}
+    for pid, root in enumerate(roots):
+        members = sorted(tree.subtree(root))
+        result.partition_vertices.append(members)
+        result.boundary.append(sorted(tree.neighbors(root)))
+        for v in members:
+            vertex_partition[v] = pid
+    result.vertex_partition = vertex_partition
+    result.overlay_vertices = {v for v, pid in vertex_partition.items() if pid is None}
+    return result

@@ -1,0 +1,16 @@
+"""Partitioned Shortest Path (PSP) framework: strategies, overlay, baselines."""
+
+from repro.psp.no_boundary import NCHPIndex, NoBoundaryPSPIndex
+from repro.psp.overlay import OverlayIndex, build_overlay_graph
+from repro.psp.partition_family import PartitionIndexFamily
+from repro.psp.post_boundary import PostBoundaryPSPIndex, PTDPIndex
+
+__all__ = [
+    "PartitionIndexFamily",
+    "OverlayIndex",
+    "build_overlay_graph",
+    "NoBoundaryPSPIndex",
+    "NCHPIndex",
+    "PostBoundaryPSPIndex",
+    "PTDPIndex",
+]

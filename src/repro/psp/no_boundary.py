@@ -1,0 +1,257 @@
+"""No-boundary PSP index (and the N-CH-P baseline).
+
+The *no-boundary strategy* (Section III-C) builds partition indexes directly on
+the partition subgraphs ``{G_i}``, derives the overlay graph from the
+boundary shortcuts those indexes produce, and builds an overlay index on top.
+Construction and maintenance are fast (no Dijkstra-based boundary shortcut
+computation, partition maintenance is embarrassingly parallel) but queries pay
+for distance concatenation:
+
+* same-partition:  ``min(d_{L_i}(s,t), min_{b_p,b_q∈B_i} d_{L_i}(s,b_p) + d_{L̃}(b_p,b_q) + d_{L_i}(b_q,t))``
+* cross-partition: ``min_{b_p∈B_i, b_q∈B_j} d_{L_i}(s,b_p) + d_{L̃}(b_p,b_q) + d_{L_j}(b_q,t)``
+
+``NoBoundaryPSPIndex(underlying="ch")`` is the paper's **N-CH-P** baseline
+(update-oriented, slow queries); ``underlying="h2h"`` gives the hop-based
+variant used inside PMHL.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
+from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.graph.updates import UpdateBatch
+from repro.partitioning.base import Partitioning
+from repro.partitioning.natural_cut import natural_cut_partition
+from repro.partitioning.ordering import boundary_first_order
+from repro.psp.overlay import OverlayIndex
+from repro.psp.partition_family import PartitionIndexFamily
+
+INF = math.inf
+
+
+class NoBoundaryPSPIndex(DistanceIndex):
+    """Planar PSP index following the (optimized) no-boundary strategy.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    num_partitions:
+        Number of partitions ``k``.
+    underlying:
+        ``"h2h"`` (hop-based partition/overlay indexes) or ``"ch"``
+        (shortcut-based, the N-CH-P baseline).
+    partitioning:
+        Optional pre-computed partitioning; by default the PUNCH-substitute
+        natural-cut partitioner is used.
+    seed:
+        Partitioner seed.
+    """
+
+    name = "N-PSP"
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_partitions: int = 4,
+        underlying: str = "h2h",
+        partitioning: Optional[Partitioning] = None,
+        seed: int = 0,
+    ):
+        super().__init__(graph)
+        if underlying not in ("h2h", "ch"):
+            raise ValueError(f"underlying must be 'h2h' or 'ch', got {underlying!r}")
+        self.num_partitions = num_partitions
+        self.underlying = underlying
+        self.seed = seed
+        self.partitioning = partitioning
+        self.order: List[int] = []
+        self.family: Optional[PartitionIndexFamily] = None
+        self.overlay: Optional[OverlayIndex] = None
+        self.last_report: Optional[UpdateReport] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        if self.partitioning is None:
+            self.partitioning = natural_cut_partition(
+                self.graph, self.num_partitions, seed=self.seed
+            )
+        self.order = boundary_first_order(self.graph, self.partitioning)
+        with_labels = self.underlying == "h2h"
+        self.family = PartitionIndexFamily(self.partitioning, self.order, with_labels=with_labels)
+        self.family.build()
+        self.overlay = OverlayIndex(
+            self.partitioning, self.family, self.order, with_labels=with_labels
+        )
+        self.overlay.build()
+
+    def _require_built(self) -> None:
+        if self.family is None or self.overlay is None or not self.overlay._built:
+            raise IndexNotBuiltError(f"{self.name} index has not been built")
+
+    # ------------------------------------------------------------------
+    # Query processing
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int) -> float:
+        self._require_built()
+        if not self.graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        if not self.graph.has_vertex(target):
+            raise VertexNotFoundError(target)
+        if source == target:
+            return 0.0
+
+        partitioning = self.partitioning
+        pid_s = partitioning.partition_of(source)
+        pid_t = partitioning.partition_of(target)
+        boundary_s = partitioning.boundary(pid_s)
+        boundary_t = partitioning.boundary(pid_t)
+        source_is_boundary = source in boundary_s
+        target_is_boundary = target in boundary_t
+
+        if pid_s == pid_t:
+            return self._same_partition_query(pid_s, source, target)
+        if source_is_boundary and target_is_boundary:
+            return self.overlay.query(source, target)
+        if source_is_boundary:
+            return self._boundary_to_inner(source, pid_t, target)
+        if target_is_boundary:
+            return self._boundary_to_inner(target, pid_s, source)
+        return self._inner_to_inner(pid_s, source, pid_t, target)
+
+    def _same_partition_query(self, pid: int, source: int, target: int) -> float:
+        """Same-partition query: local distance vs. detour through the overlay."""
+        best = self.family.query(pid, source, target)
+        source_to_boundary = self.family.distances_to_boundary(pid, source)
+        target_to_boundary = self.family.distances_to_boundary(pid, target)
+        for bp, d_s in source_to_boundary.items():
+            if d_s == INF:
+                continue
+            for bq, d_t in target_to_boundary.items():
+                if d_t == INF:
+                    continue
+                candidate = d_s + self.overlay.query(bp, bq) + d_t
+                if candidate < best:
+                    best = candidate
+        return best
+
+    def _boundary_to_inner(self, boundary_vertex: int, pid: int, inner: int) -> float:
+        """Query between a boundary vertex and a non-boundary vertex of partition ``pid``."""
+        best = INF
+        for bq, d_t in self.family.distances_to_boundary(pid, inner).items():
+            if d_t == INF:
+                continue
+            candidate = self.overlay.query(boundary_vertex, bq) + d_t
+            if candidate < best:
+                best = candidate
+        return best
+
+    def _inner_to_inner(self, pid_s: int, source: int, pid_t: int, target: int) -> float:
+        """Cross-partition query between two non-boundary vertices."""
+        best = INF
+        source_to_boundary = self.family.distances_to_boundary(pid_s, source)
+        target_to_boundary = self.family.distances_to_boundary(pid_t, target)
+        for bp, d_s in source_to_boundary.items():
+            if d_s == INF:
+                continue
+            for bq, d_t in target_to_boundary.items():
+                if d_t == INF:
+                    continue
+                candidate = d_s + self.overlay.query(bp, bq) + d_t
+                if candidate < best:
+                    best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        self._require_built()
+        report = UpdateReport()
+
+        with Timer() as timer:
+            batch.apply(self.graph)
+        report.stages.append(StageTiming("edge_update", timer.seconds))
+
+        partition_times, changed_boundary = self._update_partitions(batch, report)
+
+        with Timer() as timer:
+            inter_updates = [
+                u
+                for u in batch
+                if self.partitioning.partition_of(u.u) != self.partitioning.partition_of(u.v)
+            ]
+            self.overlay.apply_updates(inter_updates, changed_boundary)
+        report.stages.append(StageTiming("overlay_update", timer.seconds))
+
+        self.last_report = report
+        return report
+
+    def _update_partitions(
+        self, batch: UpdateBatch, report: UpdateReport
+    ) -> Tuple[List[float], Dict[Tuple[int, int], float]]:
+        """Maintain the partition indexes; returns per-partition times and the
+        boundary shortcuts whose values changed (for the overlay update)."""
+        partitioning = self.partitioning
+        per_partition: Dict[int, List] = {}
+        for update in batch:
+            pid_u = partitioning.partition_of(update.u)
+            pid_v = partitioning.partition_of(update.v)
+            if pid_u == pid_v:
+                per_partition.setdefault(pid_u, []).append(update)
+
+        partition_times: List[float] = []
+        changed_boundary: Dict[Tuple[int, int], float] = {}
+        for pid, updates in sorted(per_partition.items()):
+            start = time.perf_counter()
+            changed_edges = self.family.apply_edge_updates(pid, updates)
+            changed_report = self.family.update_shortcuts(pid, changed_edges)
+            self.family.update_labels(pid, changed_report.keys())
+            boundary = partitioning.boundary(pid)
+            for v, neighbours in changed_report.items():
+                if v not in boundary:
+                    continue
+                for u in neighbours:
+                    if u in boundary:
+                        changed_boundary[(v, u)] = self.family.contractions[pid].shortcuts[v][u]
+            partition_times.append(time.perf_counter() - start)
+
+        report.stages.append(
+            StageTiming(
+                "partition_update", sum(partition_times), parallel_times=partition_times
+            )
+        )
+        return partition_times, changed_boundary
+
+    # ------------------------------------------------------------------
+    def index_size(self) -> int:
+        self._require_built()
+        return self.family.index_size() + self.overlay.index_size()
+
+
+class NCHPIndex(NoBoundaryPSPIndex):
+    """The paper's **N-CH-P** baseline: no-boundary PSP with DCH underlying."""
+
+    name = "N-CH-P"
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_partitions: int = 4,
+        partitioning: Optional[Partitioning] = None,
+        seed: int = 0,
+    ):
+        super().__init__(
+            graph,
+            num_partitions=num_partitions,
+            underlying="ch",
+            partitioning=partitioning,
+            seed=seed,
+        )

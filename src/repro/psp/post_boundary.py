@@ -1,0 +1,185 @@
+"""Post-boundary PSP index (and the P-TD-P baseline).
+
+The *post-boundary strategy* (Section III-C, Steps 4-5) fixes the slow
+same-partition queries of the no-boundary strategy: after the overlay index is
+available, the all-pair global boundary distances of every partition are
+computed from it and inserted into the partition graphs, producing *extended
+partitions* ``{G'_i}`` whose indexes ``{L'_i}`` answer same-partition queries
+exactly and locally.  Cross-partition queries still concatenate through the
+overlay.
+
+``PostBoundaryPSPIndex(underlying="h2h")`` is the paper's **P-TD-P** baseline
+(query-oriented PSP with DH2H underlying).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.base import StageTiming, UpdateReport
+from repro.graph.graph import Graph
+from repro.graph.updates import UpdateBatch
+from repro.partitioning.base import Partitioning
+from repro.psp.no_boundary import NoBoundaryPSPIndex
+from repro.psp.partition_family import PartitionIndexFamily
+
+INF = math.inf
+
+
+class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
+    """Planar PSP index following the post-boundary strategy."""
+
+    name = "P-PSP"
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_partitions: int = 4,
+        underlying: str = "h2h",
+        partitioning: Optional[Partitioning] = None,
+        seed: int = 0,
+    ):
+        super().__init__(
+            graph,
+            num_partitions=num_partitions,
+            underlying=underlying,
+            partitioning=partitioning,
+            seed=seed,
+        )
+        self.extended_family: Optional[PartitionIndexFamily] = None
+        #: Per-partition all-pair global boundary distances (for change detection).
+        self.boundary_distances: List[Dict[Tuple[int, int], float]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        super()._build()
+        extended_graphs: List[Graph] = []
+        self.boundary_distances = []
+        for pid in range(self.partitioning.num_partitions):
+            extended = self.partitioning.subgraph(pid)
+            distances = self.overlay.boundary_pair_distances(pid)
+            for (b1, b2), weight in distances.items():
+                if b1 < b2 and weight < INF:
+                    if extended.has_edge(b1, b2):
+                        extended.set_edge_weight(b1, b2, min(weight, extended.edge_weight(b1, b2)))
+                    else:
+                        extended.add_edge(b1, b2, weight)
+            extended_graphs.append(extended)
+            self.boundary_distances.append(distances)
+        self.extended_family = PartitionIndexFamily(
+            self.partitioning,
+            self.order,
+            with_labels=(self.underlying == "h2h"),
+            graphs=extended_graphs,
+        )
+        self.extended_family.build()
+
+    # ------------------------------------------------------------------
+    # Query processing (same-partition queries go straight to {L'_i})
+    # ------------------------------------------------------------------
+    def _same_partition_query(self, pid: int, source: int, target: int) -> float:
+        return self.extended_family.query(pid, source, target)
+
+    def _boundary_to_inner(self, boundary_vertex: int, pid: int, inner: int) -> float:
+        best = INF
+        for bq, d_t in self.extended_family.distances_to_boundary(pid, inner).items():
+            if d_t == INF:
+                continue
+            candidate = self.overlay.query(boundary_vertex, bq) + d_t
+            if candidate < best:
+                best = candidate
+        return best
+
+    def _inner_to_inner(self, pid_s: int, source: int, pid_t: int, target: int) -> float:
+        best = INF
+        source_to_boundary = self.extended_family.distances_to_boundary(pid_s, source)
+        target_to_boundary = self.extended_family.distances_to_boundary(pid_t, target)
+        for bp, d_s in source_to_boundary.items():
+            if d_s == INF:
+                continue
+            for bq, d_t in target_to_boundary.items():
+                if d_t == INF:
+                    continue
+                candidate = d_s + self.overlay.query(bp, bq) + d_t
+                if candidate < best:
+                    best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        report = super().apply_batch(batch)
+        post_times = self._update_extended_partitions(batch)
+        report.stages.append(
+            StageTiming("post_boundary_update", sum(post_times), parallel_times=post_times)
+        )
+        self.last_report = report
+        return report
+
+    def _update_extended_partitions(self, batch: UpdateBatch) -> List[float]:
+        """Refresh the extended partitions after the overlay index is up to date."""
+        partitioning = self.partitioning
+        per_partition_updates: Dict[int, List] = {}
+        for update in batch:
+            pid_u = partitioning.partition_of(update.u)
+            pid_v = partitioning.partition_of(update.v)
+            if pid_u == pid_v:
+                per_partition_updates.setdefault(pid_u, []).append(update)
+
+        times: List[float] = []
+        for pid in range(partitioning.num_partitions):
+            start = time.perf_counter()
+            boundary = partitioning.boundary(pid)
+            new_distances = self.overlay.boundary_pair_distances(pid)
+            changed_pairs = {
+                pair: weight
+                for pair, weight in new_distances.items()
+                if pair[0] < pair[1]
+                and weight < INF
+                and self.boundary_distances[pid].get(pair) != weight
+            }
+            intra_updates = [
+                u
+                for u in per_partition_updates.get(pid, [])
+                if not (u.u in boundary and u.v in boundary)
+            ]
+            if not changed_pairs and not intra_updates:
+                times.append(time.perf_counter() - start)
+                continue
+            self.boundary_distances[pid] = new_distances
+            changed_edges = self.extended_family.apply_edge_updates(pid, intra_updates)
+            changed_edges += self.extended_family.set_edge_weights(pid, changed_pairs)
+            changed_report = self.extended_family.update_shortcuts(pid, changed_edges)
+            self.extended_family.update_labels(pid, changed_report.keys())
+            times.append(time.perf_counter() - start)
+        return times
+
+    # ------------------------------------------------------------------
+    def index_size(self) -> int:
+        return super().index_size() + self.extended_family.index_size()
+
+
+class PTDPIndex(PostBoundaryPSPIndex):
+    """The paper's **P-TD-P** baseline: post-boundary PSP with DH2H underlying."""
+
+    name = "P-TD-P"
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_partitions: int = 4,
+        partitioning: Optional[Partitioning] = None,
+        seed: int = 0,
+    ):
+        super().__init__(
+            graph,
+            num_partitions=num_partitions,
+            underlying="h2h",
+            partitioning=partitioning,
+            seed=seed,
+        )

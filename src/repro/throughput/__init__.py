@@ -1,0 +1,54 @@
+"""Throughput evaluation substrate: QoS bounds, queue simulation, parallel cost model."""
+
+from repro.throughput.evaluator import (
+    StageQueryCost,
+    ThroughputEvaluator,
+    ThroughputResult,
+    measure_query_cost,
+)
+from repro.throughput.parallel import (
+    cumulative_release_times,
+    lpt_makespan,
+    parallel_speedup,
+    report_wall_seconds,
+    stage_wall_seconds,
+)
+from repro.throughput.qos import (
+    StageSegment,
+    build_segments,
+    interval_service_moments,
+    lemma1_max_throughput,
+    multistage_max_throughput,
+    pollaczek_khinchine_response,
+    qos_constrained_rate,
+)
+from repro.throughput.queue_sim import QueueSimulator, SimulationResult
+from repro.throughput.workload import (
+    QueryWorkload,
+    poisson_arrival_times,
+    sample_query_pairs,
+)
+
+__all__ = [
+    "ThroughputEvaluator",
+    "ThroughputResult",
+    "StageQueryCost",
+    "measure_query_cost",
+    "lpt_makespan",
+    "parallel_speedup",
+    "stage_wall_seconds",
+    "report_wall_seconds",
+    "cumulative_release_times",
+    "StageSegment",
+    "build_segments",
+    "lemma1_max_throughput",
+    "multistage_max_throughput",
+    "pollaczek_khinchine_response",
+    "qos_constrained_rate",
+    "interval_service_moments",
+    "QueueSimulator",
+    "SimulationResult",
+    "QueryWorkload",
+    "sample_query_pairs",
+    "poisson_arrival_times",
+]

@@ -1,0 +1,199 @@
+"""Analytic throughput bounds (the paper's Lemma 1 and its multi-stage extension).
+
+The system is modelled as an M/G/1 queue with Poisson query arrivals of rate
+``λ_q``; the Pollaczek-Khinchine formula gives the mean response time, and the
+update window constraint requires all updates to be installed within the batch
+interval ``δt``.  Lemma 1 of the paper bounds the maximum sustainable
+throughput:
+
+``λ*_q ≤ min( 2(R*_q − t_q) / (V_q + 2 R*_q t_q − t_q²),  (δt − t_u) / (t_q · δt) )``
+
+For a *multi-stage* index the query service time changes during the update
+interval (BiDijkstra first, then progressively faster stages), so the bound
+generalises by (a) weighting the first two service-time moments over the
+interval segments and (b) replacing the capacity term by the total number of
+queries the interval can serve, ``Σ_i L_i / s_i / δt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class StageSegment:
+    """One piece of the query-processing timeline within an update interval.
+
+    Attributes
+    ----------
+    start, end:
+        Segment boundaries in seconds from the arrival of the update batch.
+    mean_service:
+        Average per-query processing time of the stage serving this segment.
+    service_variance:
+        Variance of that per-query processing time.
+    stage_name:
+        Human-readable stage label (for reports).
+    """
+
+    start: float
+    end: float
+    mean_service: float
+    service_variance: float = 0.0
+    stage_name: str = ""
+
+    @property
+    def length(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+def pollaczek_khinchine_response(arrival_rate: float, mean_service: float,
+                                 service_variance: float) -> float:
+    """Mean response time of an M/G/1 queue (waiting + service).
+
+    Returns ``inf`` when the queue is unstable (utilisation >= 1).
+    """
+    if arrival_rate < 0 or mean_service <= 0:
+        raise WorkloadError("arrival_rate must be >= 0 and mean_service > 0")
+    utilisation = arrival_rate * mean_service
+    if utilisation >= 1.0:
+        return float("inf")
+    second_moment = service_variance + mean_service * mean_service
+    waiting = arrival_rate * second_moment / (2.0 * (1.0 - utilisation))
+    return waiting + mean_service
+
+
+def qos_constrained_rate(mean_service: float, service_variance: float,
+                         response_qos: float) -> float:
+    """Largest arrival rate whose P-K mean response time stays within the QoS.
+
+    This is the first term of Lemma 1.  Returns 0 when even an idle system
+    cannot meet the QoS (``mean_service > response_qos``).
+    """
+    if response_qos <= 0:
+        raise WorkloadError(f"response_qos must be positive, got {response_qos}")
+    slack = response_qos - mean_service
+    if slack <= 0:
+        return 0.0
+    denominator = service_variance + 2.0 * response_qos * mean_service - mean_service ** 2
+    if denominator <= 0:
+        # Degenerate deterministic-service case; fall back to the stability bound.
+        return 1.0 / mean_service
+    return 2.0 * slack / denominator
+
+
+def lemma1_max_throughput(
+    mean_query_seconds: float,
+    query_variance: float,
+    update_seconds: float,
+    update_interval: float,
+    response_qos: float,
+) -> float:
+    """The paper's Lemma 1 upper bound on the maximum average throughput."""
+    if update_interval <= 0:
+        raise WorkloadError(f"update_interval must be positive, got {update_interval}")
+    if update_seconds >= update_interval:
+        return 0.0
+    qos_term = qos_constrained_rate(mean_query_seconds, query_variance, response_qos)
+    capacity_term = (update_interval - update_seconds) / (
+        mean_query_seconds * update_interval
+    )
+    return min(qos_term, capacity_term)
+
+
+def interval_service_moments(segments: Sequence[StageSegment]) -> Tuple[float, float]:
+    """Time-weighted first and second moments of the service time over an interval."""
+    total = sum(segment.length for segment in segments)
+    if total <= 0:
+        raise WorkloadError("segments must cover a positive-length interval")
+    mean = 0.0
+    second = 0.0
+    for segment in segments:
+        weight = segment.length / total
+        mean += weight * segment.mean_service
+        second += weight * (segment.service_variance + segment.mean_service ** 2)
+    return mean, second
+
+
+def multistage_max_throughput(
+    segments: Sequence[StageSegment],
+    update_interval: float,
+    response_qos: float,
+    final_stage_release: float,
+) -> float:
+    """Maximum sustainable throughput of a multi-stage index over one interval.
+
+    Parameters
+    ----------
+    segments:
+        Query-processing timeline of the interval (must cover ``[0, δt]``).
+    update_interval:
+        ``δt``.
+    response_qos:
+        ``R*_q``.
+    final_stage_release:
+        Simulated wall-clock time at which the *last* update stage finishes; if
+        it exceeds ``δt`` the system cannot keep up and throughput is 0
+        (the paper's update-window rule).
+    """
+    if update_interval <= 0:
+        raise WorkloadError(f"update_interval must be positive, got {update_interval}")
+    if final_stage_release >= update_interval:
+        return 0.0
+    capacity_queries = 0.0
+    for segment in segments:
+        if segment.mean_service > 0 and segment.length > 0:
+            capacity_queries += segment.length / segment.mean_service
+    capacity_term = capacity_queries / update_interval
+
+    mean, second = interval_service_moments(segments)
+    variance = max(0.0, second - mean * mean)
+    qos_term = qos_constrained_rate(mean, variance, response_qos)
+    return min(qos_term, capacity_term)
+
+
+def build_segments(
+    release_times: Sequence[float],
+    stage_names: Sequence[str],
+    mean_services: Sequence[float],
+    service_variances: Sequence[float],
+    update_interval: float,
+) -> List[StageSegment]:
+    """Assemble the query-processing timeline of one update interval.
+
+    ``release_times[i]`` is when query stage ``i`` becomes available; stage 0
+    also serves the initial ``[0, release_times[0])`` window because queries
+    arriving before any stage is ready simply wait for it.  Stages released
+    after ``update_interval`` never serve queries in the interval.
+    """
+    if not (len(release_times) == len(stage_names) == len(mean_services) == len(service_variances)):
+        raise WorkloadError("stage metadata sequences must have equal length")
+    if not release_times:
+        raise WorkloadError("at least one query stage is required")
+    segments: List[StageSegment] = []
+    for i, release in enumerate(release_times):
+        start = 0.0 if i == 0 else min(release, update_interval)
+        end = update_interval if i == len(release_times) - 1 else min(
+            release_times[i + 1], update_interval
+        )
+        if end <= start and i != 0:
+            continue
+        segments.append(
+            StageSegment(
+                start=start,
+                end=max(end, start),
+                mean_service=mean_services[i],
+                service_variance=service_variances[i],
+                stage_name=stage_names[i],
+            )
+        )
+    # Ensure the timeline covers the full interval.
+    if segments and segments[-1].end < update_interval:
+        last = segments[-1]
+        segments[-1] = StageSegment(
+            last.start, update_interval, last.mean_service, last.service_variance, last.stage_name
+        )
+    return segments

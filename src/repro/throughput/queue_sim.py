@@ -1,0 +1,125 @@
+"""Discrete-event simulation of the query-serving system.
+
+The analytic bounds in :mod:`repro.throughput.qos` are fast but approximate;
+this simulator replays the system honestly: queries arrive as a Poisson
+process, wait in a FIFO queue, and are served by a single worker whose
+per-query service time depends on which query stage is available at the moment
+service *starts* (the multi-stage timeline repeats every update interval).
+It is used to validate the analytic model and by the QPS-evolution experiment.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.exceptions import WorkloadError
+from repro.throughput.qos import StageSegment
+from repro.throughput.workload import poisson_arrival_times
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one queue simulation run."""
+
+    arrivals: int
+    completed: int
+    mean_response: float
+    max_response: float
+    throughput: float
+    qos_violated: bool
+    response_times: List[float] = field(default_factory=list)
+
+
+class QueueSimulator:
+    """Single-server FIFO queue with a periodic, stage-dependent service time.
+
+    Parameters
+    ----------
+    segments:
+        Query-processing timeline of one update interval (covering
+        ``[0, update_interval]``).
+    update_interval:
+        ``δt`` — the timeline repeats with this period.
+    """
+
+    def __init__(self, segments: Sequence[StageSegment], update_interval: float):
+        if update_interval <= 0:
+            raise WorkloadError("update_interval must be positive")
+        if not segments:
+            raise WorkloadError("at least one stage segment is required")
+        self.segments = sorted(segments, key=lambda s: s.start)
+        self.update_interval = update_interval
+        self._starts = [segment.start for segment in self.segments]
+
+    def service_time_at(self, time_in_interval: float) -> float:
+        """Per-query service time in effect at a point of the (wrapped) interval."""
+        position = bisect.bisect_right(self._starts, time_in_interval) - 1
+        position = max(0, position)
+        return self.segments[position].mean_service
+
+    def run(
+        self,
+        arrival_rate: float,
+        num_intervals: int = 3,
+        response_qos: float = float("inf"),
+        seed: int = 0,
+    ) -> SimulationResult:
+        """Simulate ``num_intervals`` update intervals at the given arrival rate."""
+        duration = num_intervals * self.update_interval
+        arrivals = poisson_arrival_times(arrival_rate, duration, seed=seed)
+        server_free = 0.0
+        responses: List[float] = []
+        for arrival in arrivals:
+            start = max(arrival, server_free)
+            service = self.service_time_at(start % self.update_interval)
+            completion = start + service
+            server_free = completion
+            responses.append(completion - arrival)
+        completed = len(responses)
+        mean_response = sum(responses) / completed if completed else 0.0
+        max_response = max(responses) if responses else 0.0
+        return SimulationResult(
+            arrivals=len(arrivals),
+            completed=completed,
+            mean_response=mean_response,
+            max_response=max_response,
+            throughput=completed / duration if duration > 0 else 0.0,
+            qos_violated=mean_response > response_qos,
+            response_times=responses,
+        )
+
+    def max_throughput(
+        self,
+        response_qos: float,
+        num_intervals: int = 3,
+        seed: int = 0,
+        tolerance: float = 0.05,
+        max_rate: float = 1e7,
+    ) -> float:
+        """Find the largest Poisson rate whose simulated mean response meets the QoS.
+
+        Uses doubling to bracket the threshold followed by a bisection, which is
+        the simulation analogue of the paper's "increase λ_q until QoS is
+        violated" measurement protocol.
+        """
+        low, high = 0.0, 1.0
+        while high < max_rate:
+            result = self.run(high, num_intervals=num_intervals,
+                              response_qos=response_qos, seed=seed)
+            if result.qos_violated:
+                break
+            low = high
+            high *= 2.0
+        else:
+            return low
+        while (high - low) > tolerance * max(high, 1.0):
+            mid = (low + high) / 2.0
+            result = self.run(mid, num_intervals=num_intervals,
+                              response_qos=response_qos, seed=seed)
+            if result.qos_violated:
+                high = mid
+            else:
+                low = mid
+        return low

@@ -1,0 +1,112 @@
+"""Query workload generation: Poisson arrivals and query-pair samplers.
+
+Following the paper's setup (Section VII-A), queries arrive as a Poisson
+process with rate ``λ_q`` and are drawn uniformly at random from the vertex
+set.  The samplers here additionally support a *same-partition bias* (the
+"city-level queries on a province-level network" scenario discussed in
+Section V-C) so the experiments can contrast same-partition-heavy and
+cross-partition-heavy workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.graph.graph import Graph
+from repro.partitioning.base import Partitioning
+
+
+@dataclass
+class QueryWorkload:
+    """A set of query pairs plus the Poisson arrival-rate context."""
+
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+
+def sample_query_pairs(
+    graph: Graph,
+    count: int,
+    seed: int = 0,
+    partitioning: Optional[Partitioning] = None,
+    same_partition_fraction: Optional[float] = None,
+) -> QueryWorkload:
+    """Sample ``count`` query pairs uniformly, optionally biased to same-partition pairs.
+
+    Parameters
+    ----------
+    same_partition_fraction:
+        When given (requires ``partitioning``), this fraction of the pairs is
+        forced to have both endpoints in the same partition; the rest is forced
+        cross-partition when possible.
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")
+    if same_partition_fraction is not None:
+        if partitioning is None:
+            raise WorkloadError("same_partition_fraction requires a partitioning")
+        if not 0.0 <= same_partition_fraction <= 1.0:
+            raise WorkloadError(
+                f"same_partition_fraction must be in [0, 1], got {same_partition_fraction}"
+            )
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    if not vertices:
+        raise WorkloadError("cannot sample queries from an empty graph")
+
+    pairs: List[Tuple[int, int]] = []
+    if same_partition_fraction is None:
+        for _ in range(count):
+            pairs.append((rng.choice(vertices), rng.choice(vertices)))
+        return QueryWorkload(pairs)
+
+    by_partition: List[List[int]] = [
+        partitioning.partition_vertices(pid) for pid in range(partitioning.num_partitions)
+    ]
+    same_count = int(round(count * same_partition_fraction))
+    for i in range(count):
+        if i < same_count:
+            members = by_partition[rng.randrange(len(by_partition))]
+            pairs.append((rng.choice(members), rng.choice(members)))
+        else:
+            if len(by_partition) >= 2:
+                pid_s, pid_t = rng.sample(range(len(by_partition)), 2)
+                pairs.append(
+                    (rng.choice(by_partition[pid_s]), rng.choice(by_partition[pid_t]))
+                )
+            else:
+                pairs.append((rng.choice(vertices), rng.choice(vertices)))
+    rng.shuffle(pairs)
+    return QueryWorkload(pairs)
+
+
+def poisson_arrival_times(rate: float, duration: float, seed: int = 0,
+                          max_events: int = 1_000_000) -> List[float]:
+    """Arrival times of a Poisson process with the given rate over ``[0, duration)``.
+
+    ``max_events`` caps the generated event count to protect the queue
+    simulator from pathological rates.
+    """
+    if rate < 0:
+        raise WorkloadError(f"rate must be non-negative, got {rate}")
+    if duration < 0:
+        raise WorkloadError(f"duration must be non-negative, got {duration}")
+    rng = random.Random(seed)
+    times: List[float] = []
+    t = 0.0
+    if rate == 0:
+        return times
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration or len(times) >= max_events:
+            break
+        times.append(t)
+    return times

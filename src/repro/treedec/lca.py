@@ -1,0 +1,95 @@
+"""Constant-time Lowest Common Ancestor oracle (Euler tour + sparse table).
+
+H2H-style query processing needs one LCA per query, so the oracle is built
+once per tree (O(n log n) preprocessing) and answered in O(1), following the
+classic reduction of LCA to range-minimum queries [Bender & Farach-Colton].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import GraphError
+
+
+class LCAOracle:
+    """LCA oracle over a rooted tree (or forest) given as parent/children maps.
+
+    For a forest the Euler tours of the individual trees are concatenated;
+    queries are only valid within one tree (callers check components first).
+    """
+
+    def __init__(
+        self,
+        parent: Dict[int, Optional[int]],
+        children: Dict[int, List[int]],
+        roots,
+        depth: Dict[int, int],
+    ):
+        if isinstance(roots, int):
+            roots = [roots]
+        self._depth = depth
+        euler: List[int] = []
+        first: Dict[int, int] = {}
+
+        # Iterative Euler tour (one per root) to avoid recursion limits.
+        for root in roots:
+            stack: List[tuple] = [(root, iter(children[root]))]
+            euler.append(root)
+            first[root] = len(euler) - 1
+            while stack:
+                vertex, child_iter = stack[-1]
+                child = next(child_iter, None)
+                if child is None:
+                    stack.pop()
+                    if stack:
+                        euler.append(stack[-1][0])
+                    continue
+                euler.append(child)
+                first.setdefault(child, len(euler) - 1)
+                stack.append((child, iter(children[child])))
+
+        if len(first) != len(parent):
+            raise GraphError("LCA oracle: Euler tour did not visit every vertex")
+
+        self._euler = euler
+        self._first = first
+        self._build_sparse_table()
+
+    def _build_sparse_table(self) -> None:
+        euler = self._euler
+        depth = self._depth
+        n = len(euler)
+        log = [0] * (n + 1)
+        for i in range(2, n + 1):
+            log[i] = log[i // 2] + 1
+        self._log = log
+        table: List[List[int]] = [list(range(n))]
+        k = 1
+        while (1 << k) <= n:
+            previous = table[k - 1]
+            span = 1 << (k - 1)
+            row = []
+            for i in range(n - (1 << k) + 1):
+                left = previous[i]
+                right = previous[i + span]
+                row.append(left if depth[euler[left]] <= depth[euler[right]] else right)
+            table.append(row)
+            k += 1
+        self._table = table
+
+    def query(self, u: int, v: int) -> int:
+        """Return the LCA of ``u`` and ``v``."""
+        if u not in self._first:
+            raise GraphError(f"vertex {u} is not part of this tree")
+        if v not in self._first:
+            raise GraphError(f"vertex {v} is not part of this tree")
+        left, right = self._first[u], self._first[v]
+        if left > right:
+            left, right = right, left
+        k = self._log[right - left + 1]
+        euler = self._euler
+        depth = self._depth
+        a = self._table[k][left]
+        b = self._table[k][right - (1 << k) + 1]
+        return euler[a] if depth[euler[a]] <= depth[euler[b]] else euler[b]

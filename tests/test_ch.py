@@ -1,0 +1,120 @@
+"""Unit tests for Contraction Hierarchies and Dynamic CH."""
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra_distance
+from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
+from repro.graph.generators import grid_road_network, random_connected_graph
+from repro.graph.updates import generate_update_batch, generate_update_stream
+from repro.hierarchy.ch import CHIndex, DCHIndex
+
+from tests.conftest import paper_example_graph, random_query_pairs
+
+
+def assert_matches_dijkstra(index, graph, pairs):
+    for s, t in pairs:
+        assert index.query(s, t) == pytest.approx(dijkstra_distance(graph, s, t)), (s, t)
+
+
+class TestCHQuery:
+    def test_not_built_raises(self):
+        index = CHIndex(paper_example_graph())
+        with pytest.raises(IndexNotBuiltError):
+            index.query(0, 1)
+
+    def test_unknown_vertex_raises(self):
+        graph = paper_example_graph()
+        index = CHIndex(graph)
+        index.build()
+        with pytest.raises(VertexNotFoundError):
+            index.query(0, 999)
+
+    def test_example_graph_correct(self):
+        graph = paper_example_graph()
+        index = CHIndex(graph)
+        index.build()
+        pairs = [(s, t) for s in graph.vertices() for t in graph.vertices()]
+        assert_matches_dijkstra(index, graph, pairs)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_grid_correct(self, seed):
+        graph = grid_road_network(7, 7, seed=seed)
+        index = CHIndex(graph)
+        index.build()
+        assert_matches_dijkstra(index, graph, random_query_pairs(graph, 40, seed=seed))
+
+    def test_random_graph_correct(self):
+        graph = random_connected_graph(50, 50, seed=9)
+        index = CHIndex(graph)
+        index.build()
+        assert_matches_dijkstra(index, graph, random_query_pairs(graph, 40, seed=9))
+
+    def test_index_size_positive(self):
+        graph = grid_road_network(5, 5, seed=0)
+        index = CHIndex(graph)
+        index.build()
+        assert index.index_size() >= graph.num_edges
+
+    def test_static_ch_rejects_updates(self):
+        graph = grid_road_network(4, 4, seed=0)
+        index = CHIndex(graph)
+        index.build()
+        batch = generate_update_batch(graph, volume=2, seed=0)
+        with pytest.raises(NotImplementedError):
+            index.apply_batch(batch)
+
+    def test_build_records_time(self):
+        graph = grid_road_network(5, 5, seed=0)
+        index = CHIndex(graph)
+        seconds = index.build()
+        assert seconds >= 0.0
+        assert index.is_built
+
+
+class TestDCHMaintenance:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_queries_correct_after_single_batch(self, seed):
+        graph = grid_road_network(7, 7, seed=seed)
+        index = DCHIndex(graph)
+        index.build()
+        batch = generate_update_batch(graph, volume=15, seed=seed)
+        report = index.apply_batch(batch)
+        assert report.total_seconds >= 0.0
+        assert [stage.name for stage in report.stages] == ["edge_update", "shortcut_update"]
+        assert_matches_dijkstra(index, graph, random_query_pairs(graph, 40, seed=seed))
+
+    def test_queries_correct_after_update_stream(self):
+        graph = grid_road_network(6, 6, seed=4)
+        index = DCHIndex(graph)
+        index.build()
+        for batch in generate_update_stream(graph, num_batches=4, volume=8, seed=4):
+            index.apply_batch(batch)
+            assert_matches_dijkstra(index, graph, random_query_pairs(graph, 20, seed=4))
+
+    def test_empty_batch_is_noop(self):
+        graph = grid_road_network(5, 5, seed=1)
+        index = DCHIndex(graph)
+        index.build()
+        before = {v: dict(d) for v, d in index.contraction.shortcuts.items()}
+        from repro.graph.updates import UpdateBatch
+
+        index.apply_batch(UpdateBatch([]))
+        assert index.contraction.shortcuts == before
+
+    def test_decrease_then_revert_restores_shortcuts(self):
+        graph = grid_road_network(5, 5, seed=2)
+        index = DCHIndex(graph)
+        index.build()
+        before = {v: dict(d) for v, d in index.contraction.shortcuts.items()}
+        batch = generate_update_batch(graph, volume=6, seed=2, decrease_fraction=1.0)
+        index.apply_batch(batch)
+        # Build the reverse batch and apply it.
+        from repro.graph.updates import EdgeUpdate, UpdateBatch
+
+        reverse = UpdateBatch(
+            [EdgeUpdate(u.u, u.v, u.new_weight, u.old_weight) for u in batch]
+        )
+        index.apply_batch(reverse)
+        for v, shortcuts in before.items():
+            for u, value in shortcuts.items():
+                assert index.contraction.shortcuts[v][u] == pytest.approx(value)

@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run end to end and print what they promise."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "city_navigation.py",
+        "dynamic_traffic_throughput.py",
+        "logistics_batch_planning.py",
+    } <= names
+
+
+def test_quickstart_example():
+    output = run_example("quickstart.py")
+    assert "PostMHL built" in output
+    assert "Dijkstra says" in output
+    assert "CROSS_BOUNDARY" in output
+
+
+def test_city_navigation_example():
+    output = run_example("city_navigation.py")
+    assert "Q5 cross-boundary" in output
+    assert "ms/query" in output
+
+
+@pytest.mark.slow
+def test_dynamic_traffic_throughput_example():
+    output = run_example("dynamic_traffic_throughput.py", timeout=420)
+    assert "PostMHL vs best baseline throughput" in output
+    assert "QPS evolution" in output

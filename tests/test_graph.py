@@ -1,0 +1,184 @@
+"""Unit tests for the graph substrate (repro.graph.graph)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    GraphError,
+    InvalidWeightError,
+    VertexNotFoundError,
+)
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_prebuilt_vertices(self):
+        graph = Graph(5)
+        assert graph.num_vertices == 5
+        assert all(graph.has_vertex(v) for v in range(5))
+        assert all(graph.degree(v) == 0 for v in range(5))
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_add_vertex_idempotent(self):
+        graph = Graph()
+        graph.add_vertex(3)
+        graph.add_vertex(3)
+        assert graph.num_vertices == 1
+
+    def test_negative_vertex_id_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_vertex(-2)
+
+
+class TestEdges:
+    def test_add_edge_creates_vertices(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 2.5)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+        assert graph.edge_weight(0, 1) == 2.5
+        assert graph.edge_weight(1, 0) == 2.5
+
+    def test_add_edge_keeps_minimum_weight(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 5.0)
+        graph.add_edge(0, 1, 3.0)
+        assert graph.edge_weight(0, 1) == 3.0
+        graph.add_edge(0, 1, 7.0)
+        assert graph.edge_weight(0, 1) == 3.0
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(2, 2, 1.0)
+
+    @pytest.mark.parametrize("weight", [0, -1.0, math.inf, math.nan, "bad"])
+    def test_invalid_weights_rejected(self, weight):
+        graph = Graph()
+        with pytest.raises(InvalidWeightError):
+            graph.add_edge(0, 1, weight)
+
+    def test_set_edge_weight(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 4.0)
+        graph.set_edge_weight(0, 1, 9.0)
+        assert graph.edge_weight(0, 1) == 9.0
+        assert graph.edge_weight(1, 0) == 9.0
+
+    def test_set_edge_weight_missing_edge(self):
+        graph = Graph(2)
+        with pytest.raises(EdgeNotFoundError):
+            graph.set_edge_weight(0, 1, 1.0)
+
+    def test_edge_weight_or_default(self):
+        graph = Graph(2)
+        assert graph.edge_weight_or(0, 1) == math.inf
+        assert graph.edge_weight_or(0, 1, -1.0) == -1.0
+
+    def test_remove_edge(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 0
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(0, 1)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        graph.remove_vertex(1)
+        assert not graph.has_vertex(1)
+        assert graph.num_edges == 0
+
+    def test_edges_iteration_unique(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 2.0)
+        edges = sorted(graph.edges())
+        assert edges == [(0, 1, 1.0), (1, 2, 2.0)]
+
+    def test_degree_and_neighbors(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(0, 2, 2.0)
+        assert graph.degree(0) == 2
+        assert graph.neighbors(0) == {1: 1.0, 2: 2.0}
+        with pytest.raises(VertexNotFoundError):
+            graph.degree(99)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        clone = graph.copy()
+        clone.set_edge_weight(0, 1, 9.0)
+        assert graph.edge_weight(0, 1) == 1.0
+        assert clone.edge_weight(0, 1) == 9.0
+
+    def test_subgraph_keeps_internal_edges_only(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(2, 3, 1.0)
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert not sub.has_vertex(3)
+
+    def test_subgraph_unknown_vertex(self):
+        graph = Graph(2)
+        with pytest.raises(VertexNotFoundError):
+            graph.subgraph([0, 5])
+
+
+class TestConnectivity:
+    def test_connected_components(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(2, 3, 1.0)
+        graph.add_vertex(4)
+        components = sorted(sorted(c) for c in graph.connected_components())
+        assert components == [[0, 1], [2, 3], [4]]
+        assert not graph.is_connected()
+
+    def test_single_component(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        assert graph.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert Graph().is_connected()
+
+
+class TestCoordinates:
+    def test_coordinates_roundtrip(self):
+        graph = Graph(2)
+        graph.set_coordinate(0, 1.5, 2.5)
+        assert graph.coordinate(0) == (1.5, 2.5)
+        assert graph.coordinate(1) is None
+        assert not graph.has_coordinates()
+        graph.set_coordinate(1, 0.0, 0.0)
+        assert graph.has_coordinates()
+
+    def test_contains_and_len(self):
+        graph = Graph(3)
+        assert 2 in graph
+        assert 5 not in graph
+        assert len(graph) == 3

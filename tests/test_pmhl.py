@@ -1,0 +1,146 @@
+"""Unit and integration tests for the PMHL index (the paper's Section V)."""
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra_distance
+from repro.core.pmhl import PMHLIndex
+from repro.core.stages import PMHLQueryStage
+from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
+from repro.graph.generators import grid_road_network, highway_network
+from repro.graph.updates import generate_update_batch, generate_update_stream
+
+from tests.conftest import random_query_pairs
+
+
+def build_pmhl(graph, k=4, seed=0):
+    index = PMHLIndex(graph, num_partitions=k, seed=seed)
+    index.build()
+    return index
+
+
+class TestPMHLConstruction:
+    def test_not_built_raises(self):
+        graph = grid_road_network(5, 5, seed=0)
+        with pytest.raises(IndexNotBuiltError):
+            PMHLIndex(graph).query(0, 1)
+
+    def test_unknown_vertex(self):
+        graph = grid_road_network(5, 5, seed=0)
+        index = build_pmhl(graph)
+        with pytest.raises(VertexNotFoundError):
+            index.query(0, 999)
+
+    def test_build_breakdown_and_size(self):
+        graph = grid_road_network(6, 6, seed=1)
+        index = build_pmhl(graph)
+        assert set(index.build_breakdown) == {
+            "partitioning_and_ordering",
+            "no_boundary",
+            "post_boundary",
+            "cross_boundary",
+        }
+        assert index.index_size() > 0
+        assert index.build_seconds > 0.0
+
+    def test_stage_catalog_order(self):
+        graph = grid_road_network(5, 5, seed=2)
+        index = build_pmhl(graph)
+        catalog = index.stage_catalog()
+        assert [entry["query_stage"] for entry in catalog] == list(PMHLQueryStage)
+
+
+class TestPMHLQueryStages:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_all_stages_match_dijkstra(self, seed):
+        graph = grid_road_network(8, 8, seed=seed)
+        index = build_pmhl(graph, k=4, seed=seed)
+        pairs = random_query_pairs(graph, 30, seed=seed)
+        for s, t in pairs:
+            expected = dijkstra_distance(graph, s, t)
+            for stage in PMHLQueryStage:
+                assert index.query_at_stage(s, t, stage) == pytest.approx(expected), (
+                    s,
+                    t,
+                    stage,
+                )
+
+    def test_highway_network_cross_partition_queries(self):
+        graph = highway_network(clusters=4, cluster_size=20, seed=3)
+        index = build_pmhl(graph, k=4, seed=3)
+        pairs = random_query_pairs(graph, 30, seed=3)
+        for s, t in pairs:
+            assert index.query(s, t) == pytest.approx(dijkstra_distance(graph, s, t))
+
+    def test_same_partition_queries_each_stage(self):
+        graph = grid_road_network(8, 8, seed=4)
+        index = build_pmhl(graph, k=4, seed=4)
+        partitioning = index.partitioning
+        for pid in range(partitioning.num_partitions):
+            members = partitioning.partition_vertices(pid)
+            for s in members[:3]:
+                for t in members[-3:]:
+                    expected = dijkstra_distance(graph, s, t)
+                    for stage in PMHLQueryStage:
+                        assert index.query_at_stage(s, t, stage) == pytest.approx(expected)
+
+
+class TestPMHLMaintenance:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_all_stages_correct_after_batch(self, seed):
+        graph = grid_road_network(7, 7, seed=seed)
+        index = build_pmhl(graph, k=4, seed=seed)
+        batch = generate_update_batch(graph, volume=12, seed=seed)
+        report = index.apply_batch(batch)
+        names = [s.name for s in report.stages]
+        assert names == [
+            "edge_update",
+            "partition_shortcut_update",
+            "overlay_shortcut_update",
+            "partition_label_update",
+            "overlay_label_update",
+            "post_boundary_update",
+            "cross_boundary_update",
+        ]
+        for s, t in random_query_pairs(graph, 25, seed=seed):
+            expected = dijkstra_distance(graph, s, t)
+            for stage in PMHLQueryStage:
+                assert index.query_at_stage(s, t, stage) == pytest.approx(expected), (
+                    s,
+                    t,
+                    stage,
+                )
+
+    def test_update_stream_stays_correct(self):
+        graph = grid_road_network(6, 6, seed=5)
+        index = build_pmhl(graph, k=4, seed=5)
+        for batch in generate_update_stream(graph, num_batches=3, volume=8, seed=5):
+            index.apply_batch(batch)
+            for s, t in random_query_pairs(graph, 15, seed=5):
+                expected = dijkstra_distance(graph, s, t)
+                assert index.query_cross_boundary(s, t) == pytest.approx(expected)
+                assert index.query_post_boundary(s, t) == pytest.approx(expected)
+
+    def test_decrease_only_batch(self):
+        graph = grid_road_network(6, 6, seed=6)
+        index = build_pmhl(graph, k=4, seed=6)
+        batch = generate_update_batch(graph, volume=10, seed=6, decrease_fraction=1.0)
+        index.apply_batch(batch)
+        for s, t in random_query_pairs(graph, 20, seed=6):
+            assert index.query(s, t) == pytest.approx(dijkstra_distance(graph, s, t))
+
+    def test_increase_only_batch(self):
+        graph = grid_road_network(6, 6, seed=7)
+        index = build_pmhl(graph, k=4, seed=7)
+        batch = generate_update_batch(graph, volume=10, seed=7, decrease_fraction=0.0)
+        index.apply_batch(batch)
+        for s, t in random_query_pairs(graph, 20, seed=7):
+            assert index.query(s, t) == pytest.approx(dijkstra_distance(graph, s, t))
+
+    def test_parallel_times_recorded(self):
+        graph = grid_road_network(7, 7, seed=8)
+        index = build_pmhl(graph, k=4, seed=8)
+        report = index.apply_batch(generate_update_batch(graph, volume=10, seed=8))
+        by_name = {s.name: s for s in report.stages}
+        assert by_name["partition_shortcut_update"].parallel_times is not None
+        assert by_name["post_boundary_update"].parallel_times is not None
+        assert by_name["cross_boundary_update"].parallel_times is not None

@@ -1,0 +1,197 @@
+"""Unit tests for the PSP framework: overlay, no-boundary and post-boundary indexes."""
+
+import math
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra_distance
+from repro.graph.generators import grid_road_network, highway_network
+from repro.graph.updates import generate_update_batch, generate_update_stream
+from repro.partitioning.natural_cut import natural_cut_partition
+from repro.partitioning.ordering import boundary_first_order
+from repro.psp.no_boundary import NCHPIndex, NoBoundaryPSPIndex
+from repro.psp.overlay import OverlayIndex, build_overlay_graph
+from repro.psp.partition_family import PartitionIndexFamily
+from repro.psp.post_boundary import PostBoundaryPSPIndex, PTDPIndex
+
+from tests.conftest import random_query_pairs
+
+
+def build_family(graph, k=4, seed=0, with_labels=True):
+    partitioning = natural_cut_partition(graph, k, seed=seed)
+    order = boundary_first_order(graph, partitioning)
+    family = PartitionIndexFamily(partitioning, order, with_labels=with_labels)
+    family.build()
+    return partitioning, order, family
+
+
+class TestOverlay:
+    def test_overlay_preserves_boundary_distances(self):
+        graph = grid_road_network(8, 8, seed=1)
+        partitioning, order, family = build_family(graph)
+        overlay = OverlayIndex(partitioning, family, order)
+        overlay.build()
+        boundary = sorted(partitioning.all_boundary())
+        for b1 in boundary[:6]:
+            for b2 in boundary[-6:]:
+                assert overlay.query(b1, b2) == pytest.approx(
+                    dijkstra_distance(graph, b1, b2)
+                ), (b1, b2)
+
+    def test_overlay_graph_vertices_are_boundary(self):
+        graph = grid_road_network(8, 8, seed=2)
+        partitioning, order, family = build_family(graph)
+        overlay_graph = build_overlay_graph(partitioning, family)
+        assert set(overlay_graph.vertices()) == partitioning.all_boundary()
+
+    def test_boundary_pair_distances_match_global(self):
+        graph = grid_road_network(8, 8, seed=3)
+        partitioning, order, family = build_family(graph)
+        overlay = OverlayIndex(partitioning, family, order)
+        overlay.build()
+        for pid in range(partitioning.num_partitions):
+            distances = overlay.boundary_pair_distances(pid)
+            for (b1, b2), d in list(distances.items())[:20]:
+                assert d == pytest.approx(dijkstra_distance(graph, b1, b2))
+
+    def test_overlay_update_keeps_boundary_distances(self):
+        graph = grid_road_network(8, 8, seed=4)
+        partitioning, order, family = build_family(graph)
+        overlay = OverlayIndex(partitioning, family, order)
+        overlay.build()
+
+        batch = generate_update_batch(graph, volume=12, seed=4)
+        batch.apply(graph)
+        # Maintain partitions then feed boundary changes into the overlay.
+        changed_boundary = {}
+        per_partition = {}
+        for update in batch:
+            pu, pv = partitioning.partition_of(update.u), partitioning.partition_of(update.v)
+            if pu == pv:
+                per_partition.setdefault(pu, []).append(update)
+        for pid, updates in per_partition.items():
+            changed_edges = family.apply_edge_updates(pid, updates)
+            changed_report = family.update_shortcuts(pid, changed_edges)
+            family.update_labels(pid, changed_report.keys())
+            boundary = partitioning.boundary(pid)
+            for v, neighbours in changed_report.items():
+                if v in boundary:
+                    for u in neighbours:
+                        if u in boundary:
+                            changed_boundary[(v, u)] = family.contractions[pid].shortcuts[v][u]
+        inter = [
+            u for u in batch
+            if partitioning.partition_of(u.u) != partitioning.partition_of(u.v)
+        ]
+        overlay.apply_updates(inter, changed_boundary)
+
+        boundary = sorted(partitioning.all_boundary())
+        for b1 in boundary[:5]:
+            for b2 in boundary[-5:]:
+                assert overlay.query(b1, b2) == pytest.approx(
+                    dijkstra_distance(graph, b1, b2)
+                )
+
+
+class TestPartitionFamily:
+    def test_partition_queries_are_local_distances(self):
+        graph = grid_road_network(8, 8, seed=5)
+        partitioning, order, family = build_family(graph)
+        for pid in range(partitioning.num_partitions):
+            subgraph = family.graphs[pid]
+            members = partitioning.partition_vertices(pid)
+            for s in members[:4]:
+                for t in members[-4:]:
+                    assert family.query(pid, s, t) == pytest.approx(
+                        dijkstra_distance(subgraph, s, t)
+                    )
+
+    def test_ch_family_matches_h2h_family(self):
+        graph = grid_road_network(7, 7, seed=6)
+        partitioning, order, family_h2h = build_family(graph, with_labels=True)
+        family_ch = PartitionIndexFamily(partitioning, order, with_labels=False)
+        family_ch.build()
+        for pid in range(partitioning.num_partitions):
+            members = partitioning.partition_vertices(pid)
+            for s in members[:3]:
+                for t in members[-3:]:
+                    assert family_ch.query(pid, s, t) == pytest.approx(
+                        family_h2h.query(pid, s, t)
+                    )
+
+    def test_index_size_positive(self):
+        graph = grid_road_network(6, 6, seed=7)
+        _, _, family = build_family(graph)
+        assert family.index_size() > 0
+
+
+@pytest.mark.parametrize("index_cls", [NoBoundaryPSPIndex, PostBoundaryPSPIndex])
+@pytest.mark.parametrize("underlying", ["h2h", "ch"])
+class TestPSPIndexCorrectness:
+    def test_queries_match_dijkstra(self, index_cls, underlying):
+        graph = grid_road_network(8, 8, seed=8)
+        index = index_cls(graph, num_partitions=4, underlying=underlying, seed=8)
+        index.build()
+        for s, t in random_query_pairs(graph, 40, seed=8):
+            assert index.query(s, t) == pytest.approx(dijkstra_distance(graph, s, t)), (s, t)
+
+    def test_queries_after_updates(self, index_cls, underlying):
+        graph = grid_road_network(7, 7, seed=9)
+        index = index_cls(graph, num_partitions=4, underlying=underlying, seed=9)
+        index.build()
+        for batch in generate_update_stream(graph, num_batches=3, volume=8, seed=9):
+            index.apply_batch(batch)
+            for s, t in random_query_pairs(graph, 25, seed=9):
+                assert index.query(s, t) == pytest.approx(
+                    dijkstra_distance(graph, s, t)
+                ), (s, t)
+
+
+class TestPSPBaselines:
+    def test_nchp_and_ptdp_names(self):
+        graph = grid_road_network(5, 5, seed=0)
+        assert NCHPIndex(graph).name == "N-CH-P"
+        assert PTDPIndex(graph).name == "P-TD-P"
+
+    def test_nchp_on_highway_network(self):
+        graph = highway_network(clusters=4, cluster_size=16, seed=1)
+        index = NCHPIndex(graph, num_partitions=4, seed=1)
+        index.build()
+        for s, t in random_query_pairs(graph, 30, seed=1):
+            assert index.query(s, t) == pytest.approx(dijkstra_distance(graph, s, t))
+
+    def test_ptdp_update_report_stages(self):
+        graph = grid_road_network(6, 6, seed=2)
+        index = PTDPIndex(graph, num_partitions=4, seed=2)
+        index.build()
+        report = index.apply_batch(generate_update_batch(graph, volume=8, seed=2))
+        names = [s.name for s in report.stages]
+        assert names == [
+            "edge_update",
+            "partition_update",
+            "overlay_update",
+            "post_boundary_update",
+        ]
+        assert report.total_seconds >= 0.0
+
+    def test_index_sizes_ordering(self):
+        """Post-boundary stores strictly more than no-boundary (extra {L'_i})."""
+        graph = grid_road_network(6, 6, seed=3)
+        no_boundary = NoBoundaryPSPIndex(graph.copy(), num_partitions=4, seed=3)
+        no_boundary.build()
+        post_boundary = PostBoundaryPSPIndex(graph.copy(), num_partitions=4, seed=3)
+        post_boundary.build()
+        assert post_boundary.index_size() > no_boundary.index_size()
+
+    def test_same_partition_queries(self):
+        graph = grid_road_network(8, 8, seed=10)
+        index = PostBoundaryPSPIndex(graph, num_partitions=4, seed=10)
+        index.build()
+        partitioning = index.partitioning
+        for pid in range(partitioning.num_partitions):
+            members = partitioning.partition_vertices(pid)
+            for s in members[:4]:
+                for t in members[-4:]:
+                    assert index.query(s, t) == pytest.approx(
+                        dijkstra_distance(graph, s, t)
+                    )
