@@ -1,0 +1,16 @@
+"""Exp 9 — live serving engine: measured QPS versus the analytic λ*_q bound."""
+
+from repro.experiments import exp9_live_serving
+from repro.experiments.runner import print_experiment
+
+from conftest import run_once
+
+
+def test_live_serving(benchmark, quick_config):
+    rows = run_once(benchmark, lambda: exp9_live_serving.run(quick_config, quick=True))
+    print_experiment("Exp 9 — live serving (measured vs analytic)", rows)
+    by_method = {row["method"]: row for row in rows}
+    assert by_method["PostMHL"]["measured_qps"] > 0
+    assert by_method["PostMHL"]["analytic_max_throughput"] > 0
+    # The engine must actually have interleaved maintenance with serving.
+    assert all(row["batches_applied"] >= 1 for row in rows)

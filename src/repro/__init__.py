@@ -16,6 +16,9 @@ The package provides, in pure Python:
   (:mod:`repro.core`),
 * a throughput-evaluation substrate with the paper's Lemma-1 bound, a queue
   simulator and a simulated-parallelism cost model (:mod:`repro.throughput`),
+* a live concurrent query-serving engine — epoch-consistent snapshots,
+  stage-aware routing, distance caching and QoS admission control
+  (:mod:`repro.serving`),
 * experiment drivers regenerating every table and figure of the evaluation
   (:mod:`repro.experiments`).
 
@@ -40,10 +43,13 @@ from repro.core.pmhl import PMHLIndex
 from repro.core.postmhl import PostMHLIndex
 from repro.core.stages import PMHLQueryStage, PostMHLQueryStage
 from repro.exceptions import (
+    EngineStoppedError,
     GraphError,
     IndexNotBuiltError,
     PartitioningError,
+    QueryRejectedError,
     ReproError,
+    ServingError,
     WorkloadError,
 )
 from repro.graph.generators import (
@@ -68,6 +74,12 @@ from repro.partitioning.natural_cut import natural_cut_partition
 from repro.partitioning.td_partition import td_partition
 from repro.psp.no_boundary import NCHPIndex, NoBoundaryPSPIndex
 from repro.psp.post_boundary import PostBoundaryPSPIndex, PTDPIndex
+from repro.serving.admission import AdmissionController
+from repro.serving.cache import EpochDistanceCache
+from repro.serving.driver import MixedWorkloadReport, run_mixed_workload
+from repro.serving.engine import QueryResult, ServingEngine
+from repro.serving.metrics import ServingMetrics
+from repro.serving.router import StageRouter
 from repro.throughput.evaluator import ThroughputEvaluator, ThroughputResult
 from repro.throughput.workload import sample_query_pairs
 
@@ -85,6 +97,9 @@ __all__ = [
     "IndexNotBuiltError",
     "PartitioningError",
     "WorkloadError",
+    "ServingError",
+    "QueryRejectedError",
+    "EngineStoppedError",
     # Graph substrate
     "Graph",
     "grid_road_network",
@@ -120,4 +135,13 @@ __all__ = [
     "ThroughputEvaluator",
     "ThroughputResult",
     "sample_query_pairs",
+    # Serving
+    "ServingEngine",
+    "QueryResult",
+    "StageRouter",
+    "EpochDistanceCache",
+    "AdmissionController",
+    "ServingMetrics",
+    "MixedWorkloadReport",
+    "run_mixed_workload",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
@@ -77,6 +77,7 @@ class DistanceIndex(abc.ABC):
         self.graph = graph
         self.build_seconds: float = 0.0
         self._built = False
+        self._stage_listener: Optional[Callable[[StageTiming], None]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -104,6 +105,39 @@ class DistanceIndex(abc.ABC):
     @abc.abstractmethod
     def index_size(self) -> int:
         """Number of stored index entries (labels + shortcuts)."""
+
+    # ------------------------------------------------------------------
+    # Serving hooks
+    # ------------------------------------------------------------------
+    def set_stage_listener(
+        self, listener: Optional[Callable[[StageTiming], None]]
+    ) -> None:
+        """Install (or clear, with ``None``) the update-stage listener.
+
+        The listener is invoked from within :meth:`apply_batch`, on the thread
+        running the update, immediately after each stage completes — i.e. at a
+        point where the structures maintained by that stage are internally
+        consistent.  The serving engine uses this to publish query-stage
+        availability epochs while a batch is still being installed.
+        """
+        self._stage_listener = listener
+
+    def _emit_stage(self, report: UpdateReport, timing: StageTiming) -> None:
+        """Record a finished update stage and notify the stage listener."""
+        report.stages.append(timing)
+        if self._stage_listener is not None:
+            self._stage_listener(timing)
+
+    def vertex_partition(self, v: int) -> Optional[int]:
+        """Partition id of ``v``, or ``None`` for unpartitioned indexes.
+
+        Partitioned indexes (PMHL, PostMHL, the PSP baselines) override this;
+        the serving engine's distance cache uses it to tag entries so an
+        update batch only evicts the partitions it touches.  ``None`` also
+        denotes overlay vertices of indexes whose overlay lives outside every
+        partition (PostMHL).
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Shared helpers

@@ -34,7 +34,7 @@ class BiDijkstraIndex(DistanceIndex):
         report = UpdateReport()
         with Timer() as timer:
             batch.apply(self.graph)
-        report.stages.append(StageTiming("edge_update", timer.seconds))
+        self._emit_stage(report, StageTiming("edge_update", timer.seconds))
         return report
 
     def index_size(self) -> int:

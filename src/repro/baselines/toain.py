@@ -151,19 +151,19 @@ class TOAINIndex(DistanceIndex):
 
         with Timer() as timer:
             batch.apply(self.graph)
-        report.stages.append(StageTiming("edge_update", timer.seconds))
+        self._emit_stage(report, StageTiming("edge_update", timer.seconds))
 
         with Timer() as timer:
             update_shortcuts_bottom_up(
                 contraction, self.graph, [update.key() for update in batch]
             )
-        report.stages.append(StageTiming("shortcut_update", timer.seconds))
+        self._emit_stage(report, StageTiming("shortcut_update", timer.seconds))
 
         with Timer() as timer:
             self.core_labels = {
                 v: self._upward_core_labels(v) for v in contraction.order
             }
-        report.stages.append(StageTiming("label_rebuild", timer.seconds))
+        self._emit_stage(report, StageTiming("label_rebuild", timer.seconds))
         return report
 
     # ------------------------------------------------------------------

@@ -272,7 +272,7 @@ class PMHLIndex(DistanceIndex):
         # U-Stage 1: on-spot edge update.
         with Timer() as timer:
             batch.apply(self.graph)
-        report.stages.append(StageTiming("edge_update", timer.seconds))
+        self._emit_stage(report, StageTiming("edge_update", timer.seconds))
 
         # Group updates by partition / inter-partition.
         per_partition: Dict[int, List] = {}
@@ -301,7 +301,7 @@ class PMHLIndex(DistanceIndex):
                         if u in boundary:
                             changed_boundary[(v, u)] = self.family.contractions[pid].shortcuts[v][u]
             partition_shortcut_times.append(time.perf_counter() - start)
-        report.stages.append(
+        self._emit_stage(report,
             StageTiming(
                 "partition_shortcut_update",
                 sum(partition_shortcut_times),
@@ -311,7 +311,7 @@ class PMHLIndex(DistanceIndex):
 
         with Timer() as timer:
             overlay_changed = self._overlay_shortcut_update(inter_updates, changed_boundary)
-        report.stages.append(StageTiming("overlay_shortcut_update", timer.seconds))
+        self._emit_stage(report, StageTiming("overlay_shortcut_update", timer.seconds))
 
         # U-Stage 3: no-boundary label update (partitions in parallel, then overlay).
         partition_label_times: List[float] = []
@@ -319,7 +319,7 @@ class PMHLIndex(DistanceIndex):
             start = time.perf_counter()
             self.family.update_labels(pid, changed_report.keys())
             partition_label_times.append(time.perf_counter() - start)
-        report.stages.append(
+        self._emit_stage(report,
             StageTiming(
                 "partition_label_update",
                 sum(partition_label_times),
@@ -330,11 +330,11 @@ class PMHLIndex(DistanceIndex):
         with Timer() as timer:
             if overlay_changed:
                 self.overlay.labels.update_top_down(overlay_changed.keys())
-        report.stages.append(StageTiming("overlay_label_update", timer.seconds))
+        self._emit_stage(report, StageTiming("overlay_label_update", timer.seconds))
 
         # U-Stage 4: post-boundary index update (partitions in parallel).
         post_times = self._post_boundary_update(per_partition)
-        report.stages.append(
+        self._emit_stage(report,
             StageTiming("post_boundary_update", sum(post_times), parallel_times=post_times)
         )
 
@@ -344,7 +344,7 @@ class PMHLIndex(DistanceIndex):
             for changed_report in partition_changed.values():
                 affected |= set(changed_report.keys())
             _, per_root_times = timed_label_update_by_root(self.cross_labels, affected)
-        report.stages.append(
+        self._emit_stage(report,
             StageTiming("cross_boundary_update", timer.seconds, parallel_times=per_root_times)
         )
 
@@ -407,6 +407,11 @@ class PMHLIndex(DistanceIndex):
     # ------------------------------------------------------------------
     # Introspection and throughput metadata
     # ------------------------------------------------------------------
+    def vertex_partition(self, v: int) -> Optional[int]:
+        if self.partitioning is None:
+            return None
+        return self.partitioning.partition_of(v)
+
     def index_size(self) -> int:
         self._require_built()
         return (

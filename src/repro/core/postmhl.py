@@ -254,7 +254,7 @@ class PostMHLIndex(DistanceIndex):
         # U-Stage 1: on-spot edge update.
         with Timer() as timer:
             batch.apply(self.graph)
-        report.stages.append(StageTiming("edge_update", timer.seconds))
+        self._emit_stage(report, StageTiming("edge_update", timer.seconds))
 
         # Group the changed edges by the partition of their owning vertex.
         per_partition_edges: Dict[int, List[Tuple[int, int]]] = {}
@@ -283,7 +283,7 @@ class PostMHLIndex(DistanceIndex):
             )
             partition_changed[pid] = changed
             partition_times.append(time.perf_counter() - start)
-        report.stages.append(
+        self._emit_stage(report,
             StageTiming(
                 "partition_shortcut_update", sum(partition_times), parallel_times=partition_times
             )
@@ -297,14 +297,14 @@ class PostMHLIndex(DistanceIndex):
                 restrict_to=td.overlay_vertices,
                 seed_vertices=sorted(escaped),
             )
-        report.stages.append(StageTiming("overlay_shortcut_update", timer.seconds))
+        self._emit_stage(report, StageTiming("overlay_shortcut_update", timer.seconds))
 
         # U-Stage 3: overlay index (label) update.
         with Timer() as timer:
             overlay_changed_labels = self.labels.update_top_down(
                 overlay_changed_shortcuts.keys(), allowed=td.overlay_vertices
             )
-        report.stages.append(StageTiming("overlay_label_update", timer.seconds))
+        self._emit_stage(report, StageTiming("overlay_label_update", timer.seconds))
 
         # Decide which partitions the parallel stages must touch.
         affected_post: List[int] = []
@@ -330,7 +330,7 @@ class PostMHLIndex(DistanceIndex):
             self.boundary_distances[pid] = new_boundary_distances[pid]
             self._update_post_boundary_partition(pid)
             post_times.append(time.perf_counter() - start)
-        report.stages.append(
+        self._emit_stage(report,
             StageTiming("post_boundary_update", sum(post_times), parallel_times=post_times)
         )
 
@@ -340,7 +340,7 @@ class PostMHLIndex(DistanceIndex):
             start = time.perf_counter()
             self._update_cross_boundary_partition(pid)
             cross_times.append(time.perf_counter() - start)
-        report.stages.append(
+        self._emit_stage(report,
             StageTiming("cross_boundary_update", sum(cross_times), parallel_times=cross_times)
         )
 
@@ -460,6 +460,11 @@ class PostMHLIndex(DistanceIndex):
     # ------------------------------------------------------------------
     # Introspection and throughput metadata
     # ------------------------------------------------------------------
+    def vertex_partition(self, v: int) -> Optional[int]:
+        if self.td is None:
+            return None
+        return self.td.partition_of(v)
+
     def index_size(self) -> int:
         self._require_built()
         boundary_entries = sum(len(values) for values in self.disB.values())

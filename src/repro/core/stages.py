@@ -15,7 +15,12 @@ import time
 from enum import IntEnum
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.algorithms.dijkstra import bidijkstra
+from repro.base import DistanceIndex
 from repro.labeling.h2h import H2HLabels
+
+#: Sentinel ``released_after`` value meaning "after the last update stage".
+LAST_STAGE = "__last__"
 
 
 class PMHLQueryStage(IntEnum):
@@ -57,6 +62,34 @@ POSTMHL_UPDATE_STAGES = (
     "post_boundary_update",
     "cross_boundary_update",
 )
+
+
+def stage_entries(index: DistanceIndex) -> List[Dict[str, object]]:
+    """Query stages of an index in release order.
+
+    Multi-stage indexes provide them via ``stage_catalog``; plain indexes
+    (DCH, DH2H, TOAIN, …) get the paper's protocol synthesised for them —
+    BiDijkstra answers queries while their index is stale, the native query
+    takes over once the whole update completes (:data:`LAST_STAGE`).  This is
+    the single source of the stage table consumed by both the analytic
+    evaluator (``repro.throughput.evaluator``) and the live router
+    (``repro.serving.router``).
+    """
+    catalog = getattr(index, "stage_catalog", None)
+    if callable(catalog):
+        return list(catalog())
+    return [
+        {
+            "query_stage": "bidijkstra_fallback",
+            "released_after": "edge_update",
+            "query": lambda s, t: bidijkstra(index.graph, s, t),
+        },
+        {
+            "query_stage": "native",
+            "released_after": LAST_STAGE,
+            "query": index.query,
+        },
+    ]
 
 
 def timed_label_update_by_root(

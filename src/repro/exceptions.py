@@ -65,3 +65,19 @@ class PartitioningError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload or throughput-evaluation configuration."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the live query-serving engine."""
+
+
+class QueryRejectedError(ServingError):
+    """Raised when admission control sheds a query to protect the QoS bound."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"query rejected by admission control: {reason}")
+        self.reason = reason
+
+
+class EngineStoppedError(ServingError):
+    """Raised when work is submitted to a serving engine that is not running."""

@@ -13,6 +13,7 @@ module                    paper artefact
 ``exp6_threads``          Figure 15 — effect of thread number ``p``
 ``exp7_ke``               Figure 17 — effect of ``k_e`` (PostMHL)
 ``exp8_bandwidth``        Figure 18 — effect of bandwidth ``τ`` (PostMHL)
+``exp9_live_serving``     measured serving QPS vs the analytic λ*_q bound
 ``ablations``             A1 cross-boundary strategy, A2 multi-stage scheme
 ========================  ======================================================
 
@@ -31,6 +32,7 @@ from repro.experiments import (
     exp6_threads,
     exp7_ke,
     exp8_bandwidth,
+    exp9_live_serving,
 )
 from repro.experiments.config import DEFAULT_CONFIG, PAPER_TABLE_II, ExperimentConfig
 from repro.experiments.methods import ALL_METHODS, QUICK_METHODS, build_method, method_names
@@ -53,6 +55,7 @@ EXPERIMENTS = {
     "exp6": exp6_threads,
     "exp7": exp7_ke,
     "exp8": exp8_bandwidth,
+    "exp9": exp9_live_serving,
     "ablations": ablations,
 }
 

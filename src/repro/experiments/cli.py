@@ -6,7 +6,7 @@ Usage::
     python -m repro.experiments --list
 
 ``experiment-id`` is one of the keys of :data:`repro.experiments.EXPERIMENTS`
-(``table1``, ``exp1`` … ``exp8``, ``ablations``) or ``all``.  The driver's rows
+(``table1``, ``exp1`` … ``exp9``, ``ablations``) or ``all``.  The driver's rows
 are printed as a plain-text table and optionally written to a CSV file.
 """
 
@@ -45,7 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         nargs="?",
         default=None,
-        help="experiment id (table1, exp1..exp8, ablations) or 'all'",
+        help="experiment id (table1, exp1..exp9, ablations) or 'all'",
     )
     parser.add_argument(
         "--quick",

@@ -5,7 +5,7 @@ QoS 0.5-2 s) target multi-million-vertex networks indexed in C++.  The
 synthetic analogs used here have 400-2,600 vertices and pure-Python indexes,
 so every knob is scaled down proportionally; what the experiments preserve is
 the *relative* behaviour between methods and the direction of every trend.
-The mapping is recorded in EXPERIMENTS.md.
+The mapping is recorded in DESIGN.md §3.
 """
 
 from __future__ import annotations

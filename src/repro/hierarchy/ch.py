@@ -170,12 +170,12 @@ class DCHIndex(CHIndex):
 
         with Timer() as timer:
             batch.apply(self.graph)
-        report.stages.append(StageTiming("edge_update", timer.seconds))
+        self._emit_stage(report, StageTiming("edge_update", timer.seconds))
 
         with Timer() as timer:
             changed = update_shortcuts_bottom_up(
                 contraction, self.graph, [update.key() for update in batch]
             )
-        report.stages.append(StageTiming("shortcut_update", timer.seconds))
+        self._emit_stage(report, StageTiming("shortcut_update", timer.seconds))
         self.last_changed_shortcuts = changed
         return report

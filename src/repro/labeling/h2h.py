@@ -247,17 +247,17 @@ class DH2HIndex(H2HIndex):
 
         with Timer() as timer:
             batch.apply(self.graph)
-        report.stages.append(StageTiming("edge_update", timer.seconds))
+        self._emit_stage(report, StageTiming("edge_update", timer.seconds))
 
         with Timer() as timer:
             changed_shortcuts = update_shortcuts_bottom_up(
                 self.contraction, self.graph, [update.key() for update in batch]
             )
-        report.stages.append(StageTiming("shortcut_update", timer.seconds))
+        self._emit_stage(report, StageTiming("shortcut_update", timer.seconds))
 
         with Timer() as timer:
             changed_labels = labels.update_top_down(changed_shortcuts.keys())
-        report.stages.append(StageTiming("label_update", timer.seconds))
+        self._emit_stage(report, StageTiming("label_update", timer.seconds))
 
         self.last_changed_shortcuts = changed_shortcuts
         self.last_changed_labels = changed_labels

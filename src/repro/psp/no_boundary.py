@@ -178,7 +178,7 @@ class NoBoundaryPSPIndex(DistanceIndex):
 
         with Timer() as timer:
             batch.apply(self.graph)
-        report.stages.append(StageTiming("edge_update", timer.seconds))
+        self._emit_stage(report, StageTiming("edge_update", timer.seconds))
 
         partition_times, changed_boundary = self._update_partitions(batch, report)
 
@@ -189,7 +189,7 @@ class NoBoundaryPSPIndex(DistanceIndex):
                 if self.partitioning.partition_of(u.u) != self.partitioning.partition_of(u.v)
             ]
             self.overlay.apply_updates(inter_updates, changed_boundary)
-        report.stages.append(StageTiming("overlay_update", timer.seconds))
+        self._emit_stage(report, StageTiming("overlay_update", timer.seconds))
 
         self.last_report = report
         return report
@@ -223,7 +223,7 @@ class NoBoundaryPSPIndex(DistanceIndex):
                         changed_boundary[(v, u)] = self.family.contractions[pid].shortcuts[v][u]
             partition_times.append(time.perf_counter() - start)
 
-        report.stages.append(
+        self._emit_stage(report,
             StageTiming(
                 "partition_update", sum(partition_times), parallel_times=partition_times
             )
@@ -231,6 +231,11 @@ class NoBoundaryPSPIndex(DistanceIndex):
         return partition_times, changed_boundary
 
     # ------------------------------------------------------------------
+    def vertex_partition(self, v: int) -> Optional[int]:
+        if self.partitioning is None:
+            return None
+        return self.partitioning.partition_of(v)
+
     def index_size(self) -> int:
         self._require_built()
         return self.family.index_size() + self.overlay.index_size()

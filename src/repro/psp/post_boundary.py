@@ -115,7 +115,7 @@ class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         report = super().apply_batch(batch)
         post_times = self._update_extended_partitions(batch)
-        report.stages.append(
+        self._emit_stage(report,
             StageTiming("post_boundary_update", sum(post_times), parallel_times=post_times)
         )
         self.last_report = report

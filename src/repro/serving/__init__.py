@@ -1,0 +1,61 @@
+"""repro.serving — a concurrent query-serving engine on top of the indexes.
+
+Where :mod:`repro.throughput` *models* the maximum sustainable query rate
+analytically (Lemma 1 over sequential stage timings), this package *runs* the
+system: queries from concurrent client threads are answered against
+consistent per-epoch snapshots while update batches install on a dedicated
+maintenance worker, with each index's multi-stage catalog dispatched live.
+
+Modules
+-------
+``engine``     :class:`ServingEngine` — epochs, locks, maintenance worker.
+``router``     stage-aware dispatch with per-stage validity epochs.
+``cache``      epoch-versioned LRU distance cache, partition invalidation.
+``admission``  Lemma-1-style QoS admission control / load shedding.
+``metrics``    QPS counters and p50/p95/p99 latency histograms.
+``driver``     closed-loop mixed query/update workload runner (``exp9``).
+``rwlock``     the reader-writer lock behind the epoch protocol.
+
+Quickstart::
+
+    from repro import PostMHLIndex, generate_update_batch, grid_road_network
+    from repro.serving import ServingEngine
+
+    graph = grid_road_network(12, 12, seed=7)
+    with ServingEngine(PostMHLIndex(graph), response_qos=0.2) as engine:
+        engine.submit_batch(generate_update_batch(graph, volume=20, seed=1))
+        result = engine.serve(0, 143)
+        print(result.distance, result.stage, result.epoch)
+"""
+
+from repro.exceptions import EngineStoppedError, QueryRejectedError, ServingError
+from repro.serving.admission import AdmissionController, AdmissionDecision, AlwaysAdmit
+from repro.serving.cache import OVERLAY, CacheStats, EpochDistanceCache
+from repro.serving.driver import MixedWorkloadReport, run_mixed_workload
+from repro.serving.engine import QueryResult, ServingEngine
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.router import LAST_STAGE, RoutedStage, StageRouter, stage_entries
+from repro.serving.rwlock import RWLock
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AlwaysAdmit",
+    "CacheStats",
+    "EngineStoppedError",
+    "EpochDistanceCache",
+    "OVERLAY",
+    "QueryRejectedError",
+    "ServingError",
+    "LatencyHistogram",
+    "LAST_STAGE",
+    "MixedWorkloadReport",
+    "QueryResult",
+    "RoutedStage",
+    "RWLock",
+    "ServingEngine",
+    "ServingMetrics",
+    "StageRouter",
+    "run_mixed_workload",
+    "stage_entries",
+]

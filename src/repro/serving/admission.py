@@ -1,0 +1,143 @@
+"""QoS admission control / load shedding for the serving engine.
+
+The paper's Lemma 1 bounds the maximum sustainable arrival rate under a mean
+response-time QoS ``R*_q`` by modelling the server as an M/G/1 queue; the
+controller here applies the same bound *online*: it estimates the recent
+arrival rate and the first two moments of the service time from live
+observations, computes the sustainable rate with
+:func:`repro.throughput.qos.qos_constrained_rate`, and sheds queries once the
+offered load exceeds it (or once the in-flight backlog alone would already
+blow the response-time budget).  Shedding excess load is what keeps the
+*admitted* queries inside the QoS bound instead of letting the queue diverge.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.exceptions import WorkloadError
+from repro.throughput.qos import qos_constrained_rate
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str
+    arrival_rate: float
+    sustainable_rate: float
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Online Lemma-1-style admission control keyed on the response-time QoS.
+
+    Parameters
+    ----------
+    response_qos:
+        ``R*_q`` in seconds — the mean response-time bound admitted queries
+        must stay within.
+    window_seconds:
+        Length of the sliding window used to estimate the arrival rate.
+    min_samples:
+        Number of completed queries observed before shedding starts; until
+        then every query is admitted (``"warming_up"``).
+    max_inflight_budget:
+        Shed when ``inflight × mean_service`` exceeds this multiple of the
+        QoS bound (the backlog alone would consume the budget).
+    clock:
+        Injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        response_qos: float,
+        window_seconds: float = 2.0,
+        min_samples: int = 30,
+        max_inflight_budget: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if response_qos <= 0:
+            raise WorkloadError(f"response_qos must be positive, got {response_qos}")
+        if window_seconds <= 0:
+            raise WorkloadError(f"window_seconds must be positive, got {window_seconds}")
+        self.response_qos = response_qos
+        self.window_seconds = window_seconds
+        self.min_samples = min_samples
+        self.max_inflight_budget = max_inflight_budget
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._arrivals: deque = deque()
+        self._latencies: deque = deque(maxlen=256)
+
+    # ------------------------------------------------------------------
+    def observe_latency(self, seconds: float) -> None:
+        """Feed one completed query's service time into the estimator."""
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def service_moments(self) -> tuple:
+        """Current mean/variance estimate of the per-query service time."""
+        with self._lock:
+            samples = list(self._latencies)
+        if not samples:
+            return 0.0, 0.0
+        mean = statistics.fmean(samples)
+        variance = statistics.pvariance(samples) if len(samples) > 1 else 0.0
+        return mean, variance
+
+    def sustainable_rate(self) -> float:
+        """Lemma-1 QoS term evaluated on the live service-time estimate."""
+        mean, variance = self.service_moments()
+        if mean <= 0:
+            return float("inf")
+        return qos_constrained_rate(mean, variance, self.response_qos)
+
+    # ------------------------------------------------------------------
+    def decide(self, inflight: int = 0) -> AdmissionDecision:
+        """Register an arrival and decide whether to admit it.
+
+        Shed arrivals still count toward the offered-load estimate — the
+        controller reasons about what is *arriving*, not what it let through.
+        """
+        now = self._clock()
+        with self._lock:
+            self._arrivals.append(now)
+            cutoff = now - self.window_seconds
+            while self._arrivals and self._arrivals[0] < cutoff:
+                self._arrivals.popleft()
+            arrival_rate = len(self._arrivals) / self.window_seconds
+            warm = len(self._latencies) >= self.min_samples
+
+        if not warm:
+            return AdmissionDecision(True, "warming_up", arrival_rate, float("inf"))
+
+        mean, variance = self.service_moments()
+        limit = (
+            qos_constrained_rate(mean, variance, self.response_qos)
+            if mean > 0
+            else float("inf")
+        )
+        if mean > 0 and inflight * mean > self.max_inflight_budget * self.response_qos:
+            return AdmissionDecision(False, "inflight_backlog", arrival_rate, limit)
+        if arrival_rate > limit:
+            return AdmissionDecision(False, "offered_load", arrival_rate, limit)
+        return AdmissionDecision(True, "ok", arrival_rate, limit)
+
+
+class AlwaysAdmit:
+    """Admission stub used when no QoS bound is configured."""
+
+    def observe_latency(self, seconds: float) -> None:  # pragma: no cover - trivial
+        pass
+
+    def decide(self, inflight: int = 0) -> AdmissionDecision:
+        return AdmissionDecision(True, "no_qos", 0.0, float("inf"))

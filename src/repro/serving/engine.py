@@ -1,0 +1,411 @@
+"""The live concurrent query-serving engine.
+
+:class:`ServingEngine` turns any :class:`~repro.base.DistanceIndex` into a
+running service: queries execute on the calling thread (or a small thread
+pool via :meth:`submit`) while update batches install on a dedicated
+maintenance worker — operationalising the paper's core idea that the
+multi-stage indexes keep answering queries, with progressively faster
+algorithms, *while* they are being maintained.
+
+Consistency model (see DESIGN.md §5)
+------------------------------------
+
+The engine counts **epochs**: epoch ``e`` is the graph state after ``e``
+update batches.  Two reader-writer locks split the state by what each query
+stage reads:
+
+* the **graph lock** guards the live graph — held for writing only during the
+  on-spot edge refresh (U-Stage 1), for reading by the index-free BiDijkstra
+  stage;
+* the **index lock** guards every index structure — held for writing for the
+  remainder of ``apply_batch``, for reading by the index-backed query stages.
+
+The update-stage listener installed on the index (see
+:meth:`repro.base.DistanceIndex.set_stage_listener`) fires at every stage
+boundary — the only points where the index structures are consistent.  The
+first stage bumps the epoch, snapshots the graph, invalidates the affected
+cache partitions and releases the graph lock (BiDijkstra serves the new epoch
+from then on, concurrently with the remaining maintenance).  Every later
+stage publishes its released query stage to the router and briefly reopens
+the index lock so queued readers can use the newly released stage.  Readers
+acquire the index lock *non-blocking*: while a stage is mutating they fall
+back to BiDijkstra instead of queueing behind the writer — exactly the
+paper's query-processing timeline, with real threads instead of a simulated
+one.
+
+Every answer therefore equals a fresh Dijkstra run on the graph snapshot of
+the epoch it reports — the invariant the serving tests enforce.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.base import DistanceIndex, StageTiming, UpdateReport
+from repro.exceptions import (
+    EngineStoppedError,
+    QueryRejectedError,
+    ServingError,
+    VertexNotFoundError,
+)
+from repro.graph.graph import Graph
+from repro.graph.updates import UpdateBatch
+from repro.serving.admission import AdmissionController, AlwaysAdmit
+from repro.serving.cache import EpochDistanceCache
+from repro.serving.metrics import ServingMetrics
+from repro.serving.router import StageRouter
+from repro.serving.rwlock import RWLock
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One served query: the answer plus the serving context."""
+
+    source: int
+    target: int
+    distance: float
+    #: Epoch (number of installed update batches) the answer is consistent with.
+    epoch: int
+    #: Name of the query stage that produced the answer (``"cache"`` for hits).
+    stage: str
+    latency_seconds: float
+    from_cache: bool = False
+
+
+class ServingEngine:
+    """Serve concurrent shortest-distance queries over a dynamic index.
+
+    Parameters
+    ----------
+    index:
+        Any :class:`~repro.base.DistanceIndex`; built on demand if needed.
+    response_qos:
+        Optional ``R*_q`` bound in seconds — enables Lemma-1-style admission
+        control (:mod:`repro.serving.admission`).  ``None`` admits everything.
+    query_threads:
+        Pool size for the asynchronous :meth:`submit` API.
+    cache_capacity:
+        LRU distance-cache capacity; ``0`` disables caching.
+    snapshot_limit:
+        How many per-epoch graph snapshots to retain for :meth:`graph_at`
+        (used by correctness oracles); ``0`` disables snapshotting.
+    stage_grace_seconds:
+        How long the maintenance worker leaves the index lock open at each
+        stage boundary so queued readers can use the just-released stage.
+    """
+
+    def __init__(
+        self,
+        index: DistanceIndex,
+        response_qos: Optional[float] = None,
+        query_threads: int = 2,
+        cache_capacity: int = 4096,
+        snapshot_limit: int = 16,
+        stage_grace_seconds: float = 0.0005,
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
+        if query_threads < 1:
+            raise ServingError(f"query_threads must be >= 1, got {query_threads}")
+        if not index.is_built:
+            index.build()
+        self.index = index
+        self.router = StageRouter(index)
+        self.metrics = ServingMetrics()
+        self.cache = EpochDistanceCache(cache_capacity) if cache_capacity > 0 else None
+        if admission is not None:
+            self.admission = admission
+        elif response_qos is not None:
+            self.admission = AdmissionController(response_qos)
+        else:
+            self.admission = AlwaysAdmit()
+        self.response_qos = response_qos
+        self.stage_grace_seconds = stage_grace_seconds
+        self.update_reports: List[UpdateReport] = []
+        #: Exceptions raised by failed batch installs.  A failed batch may
+        #: leave the graph partially updated (``apply_batch`` is not
+        #: transactional); the epoch/oracle guarantee covers successful
+        #: installs, and the worker keeps draining the queue regardless.
+        self.maintenance_errors: List[Exception] = []
+
+        self._graph_rw = RWLock()
+        self._index_rw = RWLock()
+        self._state = threading.Lock()
+        self._epoch = 0
+        self._inflight = 0
+        self._query_threads = query_threads
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._worker: Optional[threading.Thread] = None
+        self._queue: "queue.Queue" = queue.Queue()
+        self._pending = 0
+        self._pending_cond = threading.Condition()
+        self._running = False
+
+        self._snapshot_limit = snapshot_limit
+        self._snapshots: "OrderedDict[int, Graph]" = OrderedDict()
+        if snapshot_limit > 0:
+            self._snapshots[0] = index.graph.copy()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingEngine":
+        """Start the maintenance worker and the query pool (idempotent)."""
+        if self._running:
+            return self
+        self._running = True
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._query_threads, thread_name_prefix="repro-serve"
+        )
+        self._worker = threading.Thread(
+            target=self._maintenance_loop, name="repro-maintain", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the engine; with ``drain`` wait for queued batches first."""
+        if not self._running:
+            return
+        if drain:
+            self.wait_for_maintenance()
+        self._running = False
+        self._queue.put(_STOP)
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Epochs and snapshots
+    # ------------------------------------------------------------------
+    @property
+    def current_epoch(self) -> int:
+        return self._epoch
+
+    def graph_at(self, epoch: int) -> Graph:
+        """Graph snapshot of ``epoch`` (for per-epoch correctness oracles)."""
+        with self._state:
+            snapshot = self._snapshots.get(epoch)
+        if snapshot is None:
+            raise ServingError(
+                f"no graph snapshot retained for epoch {epoch} "
+                f"(snapshot_limit={self._snapshot_limit})"
+            )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Maintenance path
+    # ------------------------------------------------------------------
+    def submit_batch(self, batch: UpdateBatch) -> None:
+        """Queue an update batch for the maintenance worker."""
+        if not self._running:
+            raise EngineStoppedError("submit_batch on a stopped engine; call start()")
+        with self._pending_cond:
+            self._pending += 1
+        self._queue.put(batch)
+
+    def wait_for_maintenance(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued batch is fully installed."""
+        with self._pending_cond:
+            return self._pending_cond.wait_for(lambda: self._pending == 0, timeout)
+
+    @property
+    def pending_batches(self) -> int:
+        with self._pending_cond:
+            return self._pending
+
+    def _maintenance_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            try:
+                self._install(item)
+            except Exception as exc:  # keep the worker alive for later batches
+                self.maintenance_errors.append(exc)
+            finally:
+                with self._pending_cond:
+                    self._pending -= 1
+                    self._pending_cond.notify_all()
+
+    def _install(self, batch: UpdateBatch) -> None:
+        """Install one batch under the epoch protocol (maintenance thread)."""
+        index = self.index
+        pending_epoch = self._epoch + 1
+        affected = {index.vertex_partition(u.u) for u in batch}
+        affected |= {index.vertex_partition(u.v) for u in batch}
+
+        started = time.perf_counter()
+        self._index_rw.acquire_write()
+        self._graph_rw.acquire_write()
+        graph_locked = True
+        epoch_open = False
+
+        def on_stage(timing: StageTiming) -> None:
+            nonlocal graph_locked, epoch_open
+            if not epoch_open:
+                # First stage of every index: the on-spot edge refresh.  The
+                # graph now *is* epoch ``pending_epoch``; publish it while
+                # still holding both write locks so no query can observe a
+                # half-open epoch.
+                epoch_open = True
+                with self._state:
+                    self._epoch = pending_epoch
+                    if self._snapshot_limit > 0:
+                        self._snapshots[pending_epoch] = index.graph.copy()
+                        while len(self._snapshots) > self._snapshot_limit:
+                            self._snapshots.popitem(last=False)
+                self.router.begin_epoch(pending_epoch)
+                if self.cache is not None:
+                    self.cache.invalidate_partitions(affected)
+                self._graph_rw.release_write()
+                graph_locked = False
+            else:
+                self.router.release(timing.name, pending_epoch)
+                # Reopen the index lock briefly: readers queued on the newly
+                # released stage get a consistent window before the next
+                # update stage starts mutating.
+                self._index_rw.release_write()
+                if self.stage_grace_seconds > 0:
+                    time.sleep(self.stage_grace_seconds)
+                self._index_rw.acquire_write()
+
+        index.set_stage_listener(on_stage)
+        try:
+            report = index.apply_batch(batch)
+            self.router.complete(pending_epoch)
+        finally:
+            index.set_stage_listener(None)
+            if graph_locked:
+                self._graph_rw.release_write()
+            self._index_rw.release_write()
+        self.update_reports.append(report)
+        self.metrics.record_batch(time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def serve(self, source: int, target: int) -> QueryResult:
+        """Serve one query on the calling thread.
+
+        Raises :class:`~repro.exceptions.QueryRejectedError` when admission
+        control sheds the query.
+        """
+        started = time.perf_counter()
+        # Validate up front: the stage dispatchers skip the vertex checks of
+        # ``index.query`` and would otherwise surface raw KeyErrors.
+        graph = self.index.graph
+        if not graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        if not graph.has_vertex(target):
+            raise VertexNotFoundError(target)
+        with self._state:
+            inflight = self._inflight
+        decision = self.admission.decide(inflight=inflight)
+        if not decision.admitted:
+            self.metrics.record_shed()
+            raise QueryRejectedError(decision.reason)
+        with self._state:
+            self._inflight += 1
+        try:
+            result = self._dispatch(source, target, started)
+        finally:
+            with self._state:
+                self._inflight -= 1
+        self.metrics.record_query(result.stage, result.latency_seconds, result.from_cache)
+        self.admission.observe_latency(result.latency_seconds)
+        return result
+
+    def query(self, source: int, target: int) -> float:
+        """Distance-only convenience wrapper around :meth:`serve`."""
+        return self.serve(source, target).distance
+
+    def submit(self, source: int, target: int) -> "Future[QueryResult]":
+        """Asynchronous :meth:`serve` on the engine's query pool."""
+        if not self._running or self._pool is None:
+            raise EngineStoppedError("submit on a stopped engine; call start()")
+        return self._pool.submit(self.serve, source, target)
+
+    def _dispatch(self, source: int, target: int, started: float) -> QueryResult:
+        # 1. Cache — the (distance, epoch) pair is internally consistent even
+        #    if the epoch advances concurrently: the answer linearises just
+        #    before the newer batch.
+        if self.cache is not None:
+            epoch = self._epoch
+            cached = self.cache.get(source, target, epoch)
+            if cached is not None:
+                return QueryResult(
+                    source, target, cached, epoch,
+                    "cache", time.perf_counter() - started, from_cache=True,
+                )
+
+        # 2. Index-backed stages.  Non-blocking: while an update stage is
+        #    mutating the structures we fall back to the live graph instead of
+        #    queueing behind the writer.  Holding the read lock pins the
+        #    epoch (the edge refresh needs both write locks).
+        if self._index_rw.acquire_read(blocking=False):
+            try:
+                epoch = self._epoch
+                stage = self.router.best_valid_index_stage(epoch)
+                if stage is not None:
+                    distance = stage.query(source, target)
+                    self._cache_put(source, target, distance, epoch)
+                    return QueryResult(
+                        source, target, distance, epoch,
+                        stage.name, time.perf_counter() - started,
+                    )
+            finally:
+                self._index_rw.release_read()
+
+        # 3. Live-graph fallback (Q-Stage 1).  Blocks only for the duration
+        #    of an on-spot edge refresh.
+        graph_stage = self.router.graph_stage
+        with self._graph_rw.read_locked():
+            epoch = self._epoch
+            distance = graph_stage.query(source, target)
+        self._cache_put(source, target, distance, epoch)
+        return QueryResult(
+            source, target, distance, epoch,
+            graph_stage.name, time.perf_counter() - started,
+        )
+
+    def _cache_put(self, source: int, target: int, distance: float, epoch: int) -> None:
+        if self.cache is None:
+            return
+        tags = (self.index.vertex_partition(source), self.index.vertex_partition(target))
+        self.cache.put(source, target, distance, epoch, tags)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """One merged snapshot of metrics, cache, router and epoch state."""
+        snapshot = self.metrics.snapshot()
+        snapshot["epoch"] = self._epoch
+        snapshot["qps"] = self.metrics.qps()
+        snapshot["lifetime_qps"] = self.metrics.lifetime_qps()
+        snapshot["stages"] = self.router.describe()
+        snapshot["maintenance_errors"] = [repr(exc) for exc in self.maintenance_errors]
+        if self.cache is not None:
+            snapshot["cache"] = self.cache.snapshot()
+        return snapshot

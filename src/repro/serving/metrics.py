@@ -1,0 +1,177 @@
+"""Serving-side observability: QPS counters and latency histograms.
+
+The throughput experiments report the *analytic* maximum sustainable rate
+``λ*_q`` (``repro.throughput.qos``); the serving engine complements it with
+*measured* figures — queries actually served per second and p50/p95/p99
+response-time quantiles — so the two can be cross-checked (``exp9``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Dict, Optional
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with approximate quantiles.
+
+    Buckets are geometrically spaced between ``min_latency`` and
+    ``max_latency`` (default 1 µs – 10 s, 10 buckets per decade), which keeps
+    the quantile error within one bucket width (~26 %) at any scale — plenty
+    for p50/p95/p99 reporting — with O(1) recording and fixed memory.
+    """
+
+    def __init__(
+        self,
+        min_latency: float = 1e-6,
+        max_latency: float = 10.0,
+        buckets_per_decade: int = 10,
+    ) -> None:
+        if min_latency <= 0 or max_latency <= min_latency:
+            raise ValueError("require 0 < min_latency < max_latency")
+        self._min = min_latency
+        self._per_decade = buckets_per_decade
+        decades = math.log10(max_latency / min_latency)
+        self._num_buckets = int(math.ceil(decades * buckets_per_decade)) + 1
+        self._counts = [0] * (self._num_buckets + 1)  # +1 overflow bucket
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def _bucket(self, latency: float) -> int:
+        if latency <= self._min:
+            return 0
+        index = int(math.log10(latency / self._min) * self._per_decade)
+        return min(index, self._num_buckets)  # clamp into the overflow bucket
+
+    def _bucket_upper(self, index: int) -> float:
+        return self._min * 10.0 ** ((index + 1) / self._per_decade)
+
+    def record(self, latency_seconds: float) -> None:
+        self._counts[self._bucket(latency_seconds)] += 1
+        self._total += 1
+        self._sum += latency_seconds
+        if latency_seconds > self._max:
+            self._max = latency_seconds
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._total if self._total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (upper bound of the containing bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._total == 0:
+            return 0.0
+        rank = q * self._total
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return min(self._bucket_upper(index), self._max)
+        return self._max
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": float(self._total),
+            "mean_seconds": self.mean,
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+            "max_seconds": self._max,
+        }
+
+
+class ServingMetrics:
+    """Thread-safe counters for one :class:`~repro.serving.engine.ServingEngine`.
+
+    Tracks served/shed query counts, a per-stage breakdown (which query stage
+    actually answered — the live counterpart of the paper's Figure 13), cache
+    accounting, maintenance batches, and a latency histogram.  ``qps`` is the
+    served rate over a sliding window; ``lifetime_qps`` over the whole run.
+    """
+
+    def __init__(self, clock=time.monotonic, window_seconds: float = 2.0) -> None:
+        self._clock = clock
+        self._window = window_seconds
+        self._lock = threading.Lock()
+        self._started = clock()
+        self._served = 0
+        self._shed = 0
+        self._cache_hits = 0
+        self._by_stage: Dict[str, int] = {}
+        self._latency = LatencyHistogram()
+        self._recent: deque = deque()
+        self._batches = 0
+        self._batch_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def record_query(self, stage: str, latency_seconds: float, from_cache: bool = False) -> None:
+        now = self._clock()
+        with self._lock:
+            self._served += 1
+            if from_cache:
+                self._cache_hits += 1
+            self._by_stage[stage] = self._by_stage.get(stage, 0) + 1
+            self._latency.record(latency_seconds)
+            self._recent.append(now)
+            cutoff = now - self._window
+            while self._recent and self._recent[0] < cutoff:
+                self._recent.popleft()
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self._shed += 1
+
+    def record_batch(self, wall_seconds: float) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batch_seconds += wall_seconds
+
+    # ------------------------------------------------------------------
+    @property
+    def queries_served(self) -> int:
+        with self._lock:
+            return self._served
+
+    @property
+    def queries_shed(self) -> int:
+        with self._lock:
+            return self._shed
+
+    def qps(self, window_seconds: Optional[float] = None) -> float:
+        """Served queries per second over the sliding window."""
+        window = window_seconds if window_seconds is not None else self._window
+        now = self._clock()
+        cutoff = now - window
+        with self._lock:
+            recent = sum(1 for t in self._recent if t >= cutoff)
+        return recent / window if window > 0 else 0.0
+
+    def lifetime_qps(self) -> float:
+        elapsed = self._clock() - self._started
+        with self._lock:
+            served = self._served
+        return served / elapsed if elapsed > 0 else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            attempted = self._served + self._shed
+            return {
+                "queries_served": self._served,
+                "queries_shed": self._shed,
+                "shed_fraction": self._shed / attempted if attempted else 0.0,
+                "cache_hits": self._cache_hits,
+                "by_stage": dict(self._by_stage),
+                "batches_applied": self._batches,
+                "maintenance_seconds": self._batch_seconds,
+                "latency": self._latency.snapshot(),
+            }

@@ -18,6 +18,20 @@ Indexes that expose ``stage_catalog()`` (MHL, PMHL, PostMHL) get the full
 multi-stage treatment; plain indexes (DCH, DH2H, …) are treated as the paper
 treats them — BiDijkstra answers queries while their index is being repaired,
 and their native query takes over once the update completes.
+
+Analytic λ*_q versus measured serving QPS
+-----------------------------------------
+
+The figure produced here is an *analytic upper bound*: it assumes Poisson
+arrivals, measures each stage's query cost in isolation on a single thread,
+and simulates the maintenance parallelism (``repro.throughput.parallel``).
+Its live counterpart is the *measured* served QPS of
+:class:`repro.serving.engine.ServingEngine`, where real concurrent clients
+contend with the maintenance worker for locks and the GIL;
+``repro.experiments.exp9_live_serving`` reports the two side by side.  They
+are expected to agree on the story (method ordering, trends), not on the
+numbers — the analytic bound abstracts away contention and caching, while
+the measured figure is capped by the load the driver offers.
 """
 
 from __future__ import annotations
@@ -27,8 +41,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.algorithms.dijkstra import bidijkstra
 from repro.base import DistanceIndex, UpdateReport
+from repro.core.stages import stage_entries
 from repro.exceptions import WorkloadError
 from repro.graph.updates import UpdateBatch
 from repro.throughput.parallel import cumulative_release_times, report_wall_seconds
@@ -93,7 +107,7 @@ class ThroughputEvaluator:
     Parameters
     ----------
     update_interval:
-        ``δt`` in seconds (scaled down relative to the paper, see EXPERIMENTS.md).
+        ``δt`` in seconds (scaled down relative to the paper, see DESIGN.md §3).
     response_qos:
         ``R*_q`` in seconds.
     threads:
@@ -126,23 +140,12 @@ class ThroughputEvaluator:
 
         Multi-stage indexes provide them via ``stage_catalog``; for the rest
         the paper's protocol applies: BiDijkstra while the index is stale, the
-        native query once the last update stage completes.
+        native query once the last update stage completes.  Delegates to
+        :func:`repro.core.stages.stage_entries` — the same table the live
+        serving router dispatches on — so the analytic and measured timelines
+        can never disagree about the stages themselves.
         """
-        catalog = getattr(index, "stage_catalog", None)
-        if callable(catalog):
-            return list(catalog())
-        return [
-            {
-                "query_stage": "bidijkstra_fallback",
-                "released_after": "edge_update",
-                "query": lambda s, t: bidijkstra(index.graph, s, t),
-            },
-            {
-                "query_stage": "native",
-                "released_after": "__last__",
-                "query": index.query,
-            },
-        ]
+        return stage_entries(index)
 
     # ------------------------------------------------------------------
     def evaluate(

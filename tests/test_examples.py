@@ -27,6 +27,7 @@ def test_examples_directory_contents():
         "city_navigation.py",
         "dynamic_traffic_throughput.py",
         "logistics_batch_planning.py",
+        "live_serving.py",
     } <= names
 
 
@@ -41,6 +42,13 @@ def test_city_navigation_example():
     output = run_example("city_navigation.py")
     assert "Q5 cross-boundary" in output
     assert "ms/query" in output
+
+
+def test_live_serving_example():
+    output = run_example("live_serving.py")
+    assert "update batches" in output
+    assert "0 mismatches" in output
+    assert "answers by query stage" in output
 
 
 @pytest.mark.slow

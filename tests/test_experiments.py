@@ -108,6 +108,21 @@ class TestExperimentShapes:
         # Larger bandwidth admits more/larger subtrees -> overlay not larger.
         assert large_tau["overlay_vertices"] <= small_tau["overlay_vertices"] * 1.5
 
+    def test_exp9_live_serving(self):
+        from repro.experiments.exp9_live_serving import live_serving_rows
+
+        rows = live_serving_rows(
+            "NY", ["BiDijkstra", "PostMHL"], QUICK, duration_seconds=0.4, num_batches=1
+        )
+        by_method = {row["method"]: row for row in rows}
+        assert set(by_method) == {"BiDijkstra", "PostMHL"}
+        for row in rows:
+            # The acceptance pair: a measured figure next to the analytic bound.
+            assert row["measured_qps"] > 0
+            assert row["analytic_max_throughput"] >= 0
+            assert row["batches_applied"] == 1
+            assert row["p95_ms"] >= row["p50_ms"]
+
     def test_ablation_cross_boundary(self):
         rows = cross_boundary_ablation_rows("NY", QUICK)
         by_stage = {row["query_stage"]: row["mean_query_seconds"] for row in rows}
@@ -135,6 +150,7 @@ class TestExperimentShapes:
             "exp6",
             "exp7",
             "exp8",
+            "exp9",
             "ablations",
         }
         for module in EXPERIMENTS.values():
