@@ -1,25 +1,35 @@
 """Micro-benchmarks of the core index operations (build / query / update).
 
 These are conventional pytest-benchmark measurements (multiple rounds) of the
-primitive operations the experiments are built from, on the NY analog.
+primitive operations the experiments are built from, on the NY analog.  The
+``*_batch`` benchmarks time the batch query plane (``query_one_to_many`` /
+``query_many``) against the scalar loop and print the measured speedup — the
+CI benchmark smoke step runs exactly those (``-k batch``).
 """
+
+import time
 
 import pytest
 
-from repro.core.pmhl import PMHLIndex
-from repro.core.postmhl import PostMHLIndex
 from repro.graph.generators import load_dataset
 from repro.graph.updates import generate_update_batch
-from repro.hierarchy.ch import DCHIndex
-from repro.labeling.h2h import DH2HIndex
+from repro.registry import create_index, get_spec
 from repro.throughput.workload import sample_query_pairs
 
-INDEX_FACTORIES = {
-    "DCH": lambda graph: DCHIndex(graph),
-    "DH2H": lambda graph: DH2HIndex(graph),
-    "PMHL": lambda graph: PMHLIndex(graph, num_partitions=4, seed=7),
-    "PostMHL": lambda graph: PostMHLIndex(graph, bandwidth=14, expected_partitions=4),
+INDEX_SPECS = {
+    "DCH": get_spec("DCH"),
+    "DH2H": get_spec("DH2H"),
+    "PMHL": get_spec("PMHL", num_partitions=4, seed=7),
+    "PostMHL": get_spec("PostMHL", bandwidth=14, expected_partitions=4),
 }
+
+#: Methods whose batch plane is benchmarked (BiDijkstra is the headline:
+#: one truncated Dijkstra per source instead of one search per pair).
+BATCH_SPECS = {
+    "BiDijkstra": get_spec("BiDijkstra"),
+    **{method: INDEX_SPECS[method] for method in ("DH2H", "PMHL", "PostMHL")},
+}
+BATCH_METHODS = tuple(BATCH_SPECS)
 
 
 @pytest.fixture(scope="module")
@@ -27,10 +37,21 @@ def ny_graph():
     return load_dataset("NY")
 
 
-@pytest.mark.parametrize("method", sorted(INDEX_FACTORIES))
+@pytest.fixture(scope="module")
+def built_batch_indexes(ny_graph):
+    """One built index per batch-benchmark method (shared across benchmarks)."""
+    built = {}
+    for method in BATCH_METHODS:
+        index = create_index(BATCH_SPECS[method], ny_graph.copy())
+        index.build()
+        built[method] = index
+    return built
+
+
+@pytest.mark.parametrize("method", sorted(INDEX_SPECS))
 def test_build(benchmark, ny_graph, method):
     def build():
-        index = INDEX_FACTORIES[method](ny_graph.copy())
+        index = create_index(INDEX_SPECS[method], ny_graph.copy())
         index.build()
         return index
 
@@ -38,10 +59,10 @@ def test_build(benchmark, ny_graph, method):
     assert index.is_built
 
 
-@pytest.mark.parametrize("method", sorted(INDEX_FACTORIES))
+@pytest.mark.parametrize("method", sorted(INDEX_SPECS))
 def test_query(benchmark, ny_graph, method):
     graph = ny_graph.copy()
-    index = INDEX_FACTORIES[method](graph)
+    index = create_index(INDEX_SPECS[method], graph)
     index.build()
     pairs = list(sample_query_pairs(graph, 50, seed=1))
     state = {"i": 0}
@@ -55,10 +76,50 @@ def test_query(benchmark, ny_graph, method):
     assert result >= 0
 
 
-@pytest.mark.parametrize("method", sorted(INDEX_FACTORIES))
+@pytest.mark.parametrize("method", BATCH_METHODS)
+def test_query_one_to_many_batch(benchmark, built_batch_indexes, method):
+    """Batch one-to-many vs. the scalar loop; prints the measured speedup."""
+    index = built_batch_indexes[method]
+    graph = index.graph
+    source = next(iter(sample_query_pairs(graph, 1, seed=3)))[0]
+    targets = [t for _, t in sample_query_pairs(graph, 100, seed=4)]
+
+    start = time.perf_counter()
+    scalar = [index.query(source, target) for target in targets]
+    scalar_seconds = time.perf_counter() - start
+
+    batch = benchmark(lambda: index.query_one_to_many(source, targets))
+    assert all(abs(a - b) <= 1e-9 for a, b in zip(scalar, batch))
+
+    batch_seconds = benchmark.stats.stats.mean
+    speedup = scalar_seconds / batch_seconds if batch_seconds > 0 else float("inf")
+    print(f"\n[{method}] one-to-many x{len(targets)}: "
+          f"scalar {scalar_seconds * 1e3:.2f}ms, batch {batch_seconds * 1e3:.2f}ms, "
+          f"speedup {speedup:.1f}x")
+    if method == "BiDijkstra":
+        # The acceptance bar: the shared truncated Dijkstra must beat the
+        # scalar loop by at least 2x on the quick dataset.
+        assert speedup >= 2.0
+
+
+@pytest.mark.parametrize("method", BATCH_METHODS)
+def test_query_many_batch(benchmark, built_batch_indexes, method):
+    """Arbitrary pair batches (grouped by source internally)."""
+    index = built_batch_indexes[method]
+    graph = index.graph
+    sources = [s for s, _ in sample_query_pairs(graph, 8, seed=5)]
+    targets = [t for _, t in sample_query_pairs(graph, 25, seed=6)]
+    pairs = [(s, t) for s in sources for t in targets]
+
+    batch = benchmark(lambda: index.query_many(pairs))
+    assert len(batch) == len(pairs)
+    assert all(d >= 0 for d in batch)
+
+
+@pytest.mark.parametrize("method", sorted(INDEX_SPECS))
 def test_update_batch(benchmark, ny_graph, method):
     graph = ny_graph.copy()
-    index = INDEX_FACTORIES[method](graph)
+    index = create_index(INDEX_SPECS[method], graph)
     index.build()
     state = {"seed": 0}
 

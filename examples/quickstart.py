@@ -5,8 +5,8 @@ Run with ``python examples/quickstart.py``.
 """
 
 from repro import (
-    PostMHLIndex,
     PostMHLQueryStage,
+    create_index,
     generate_update_batch,
     grid_road_network,
 )
@@ -18,8 +18,9 @@ def main() -> None:
     graph = grid_road_network(20, 20, seed=7)
     print(f"network: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
-    # 2. Build the PostMHL index (tree decomposition + TD-partitioning).
-    index = PostMHLIndex(graph, bandwidth=14, expected_partitions=8)
+    # 2. Build the PostMHL index (tree decomposition + TD-partitioning) via the
+    #    typed registry: any method is one `create_index(name, graph, **params)`.
+    index = create_index("PostMHL", graph, bandwidth=14, expected_partitions=8)
     build_seconds = index.build()
     print(
         f"PostMHL built in {build_seconds:.3f}s: "
@@ -42,6 +43,12 @@ def main() -> None:
     for stage in PostMHLQueryStage:
         print(f"  {stage.name:<15} d({source},{target}) = "
               f"{index.query_at_stage(source, target, stage):.2f}")
+
+    # 5. The batch query plane answers many pairs in one call (one source-label
+    #    fetch per distinct source) with exactly the scalar path's distances.
+    pairs = [(source, target), (source, 210), (source, 57), (3, 396)]
+    distances = index.query_many(pairs)
+    print("batch:", ", ".join(f"d{p} = {d:.2f}" for p, d in zip(pairs, distances)))
 
 
 if __name__ == "__main__":

@@ -17,23 +17,26 @@ The package provides, in pure Python:
 * a throughput-evaluation substrate with the paper's Lemma-1 bound, a queue
   simulator and a simulated-parallelism cost model (:mod:`repro.throughput`),
 * a live concurrent query-serving engine — epoch-consistent snapshots,
-  stage-aware routing, distance caching and QoS admission control
-  (:mod:`repro.serving`),
+  stage-aware routing, distance caching, QoS admission control and a
+  single-epoch batch endpoint (:mod:`repro.serving`),
+* a typed method registry: per-method :class:`~repro.registry.IndexSpec`
+  dataclasses and the :func:`~repro.registry.create_index` factory
+  (:mod:`repro.registry`),
 * experiment drivers regenerating every table and figure of the evaluation
   (:mod:`repro.experiments`).
 
 Quickstart::
 
-    from repro import grid_road_network, PostMHLIndex, generate_update_batch
+    from repro import create_index, grid_road_network, generate_update_batch
 
     graph = grid_road_network(20, 20, seed=7)
-    index = PostMHLIndex(graph, bandwidth=12, expected_partitions=8)
+    index = create_index("PostMHL", graph, bandwidth=12, expected_partitions=8)
     index.build()
     print(index.query(0, 399))
 
     batch = generate_update_batch(graph, volume=50, seed=1)
     index.apply_batch(batch)
-    print(index.query(0, 399))
+    print(index.query_many([(0, 399), (0, 200), (37, 311)]))
 """
 
 from repro.base import DistanceIndex, StageTiming, UpdateReport
@@ -74,6 +77,14 @@ from repro.partitioning.natural_cut import natural_cut_partition
 from repro.partitioning.td_partition import td_partition
 from repro.psp.no_boundary import NCHPIndex, NoBoundaryPSPIndex
 from repro.psp.post_boundary import PostBoundaryPSPIndex, PTDPIndex
+from repro.registry import (
+    PAPER_METHODS,
+    IndexSpec,
+    create_index,
+    get_spec,
+    registered_methods,
+    spec_from_config,
+)
 from repro.serving.admission import AdmissionController
 from repro.serving.cache import EpochDistanceCache
 from repro.serving.driver import MixedWorkloadReport, run_mixed_workload
@@ -128,6 +139,13 @@ __all__ = [
     "PostMHLIndex",
     "PMHLQueryStage",
     "PostMHLQueryStage",
+    # Typed registry / factory
+    "IndexSpec",
+    "create_index",
+    "get_spec",
+    "spec_from_config",
+    "registered_methods",
+    "PAPER_METHODS",
     # Partitioning
     "natural_cut_partition",
     "td_partition",

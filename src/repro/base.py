@@ -5,6 +5,9 @@ N-CH-P, P-TD-P, TOAIN, PMHL, PostMHL): each exposes
 
 * :meth:`DistanceIndex.build` — construct the index (records ``t_c``),
 * :meth:`DistanceIndex.query` — answer a shortest-distance query (``t_q``),
+* :meth:`DistanceIndex.query_many` / :meth:`DistanceIndex.query_one_to_many` —
+  the batch query plane: answer many queries in one call, amortising
+  per-query work where the index allows it,
 * :meth:`DistanceIndex.apply_batch` — install a batch of edge-weight updates
   (``t_u``), returning a per-stage timing breakdown for the multi-stage
   methods, and
@@ -19,10 +22,13 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
+
+#: One ``(source, target)`` query pair of the batch query plane.
+QueryPair = Tuple[int, int]
 
 
 @dataclass
@@ -98,6 +104,42 @@ class DistanceIndex(abc.ABC):
     def query(self, source: int, target: int) -> float:
         """Return the shortest distance between ``source`` and ``target``."""
 
+    # ------------------------------------------------------------------
+    # Batch query plane
+    # ------------------------------------------------------------------
+    def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """Shortest distances from ``source`` to every vertex of ``targets``.
+
+        The default implementation is a scalar loop over :meth:`query`, so it
+        is always available and always agrees with the scalar path.  Indexes
+        override it to amortise per-query work across the batch (fetching the
+        source label once, sharing a single truncated search, …); overrides
+        must return the same distances the scalar path returns.
+        """
+        return [self.query(source, target) for target in targets]
+
+    def query_many(self, pairs: Iterable[QueryPair]) -> List[float]:
+        """Shortest distances for many ``(source, target)`` pairs at once.
+
+        Pairs are grouped by source and each group is answered through
+        :meth:`query_one_to_many`, so any index that amortises the
+        one-to-many case speeds up arbitrary batches for free.  Results are
+        returned in input order.  With the default scalar
+        :meth:`query_one_to_many` this is exactly the scalar loop.
+        """
+        pair_list = list(pairs)
+        by_source: Dict[int, List[int]] = {}
+        for position, (source, _target) in enumerate(pair_list):
+            by_source.setdefault(source, []).append(position)
+        results: List[float] = [0.0] * len(pair_list)
+        for source, positions in by_source.items():
+            distances = self.query_one_to_many(
+                source, [pair_list[position][1] for position in positions]
+            )
+            for position, distance in zip(positions, distances):
+                results[position] = distance
+        return results
+
     @abc.abstractmethod
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         """Apply a batch of edge-weight updates to the graph and the index."""
@@ -146,7 +188,7 @@ class DistanceIndex(abc.ABC):
     def is_built(self) -> bool:
         return self._built
 
-    def describe(self) -> Dict[str, float]:
+    def describe(self) -> Dict[str, object]:
         """Small summary dictionary used by the experiment reports."""
         return {
             "name": self.name,

@@ -5,14 +5,33 @@ to the graph directly (its "index" is always up to date) and every query pays
 the full bidirectional search cost.  Wrapping it in
 :class:`~repro.base.DistanceIndex` lets the experiment harness treat it like
 any other method.
+
+The batch query plane is where an index-free method benefits most: a
+one-to-many call runs a *single* Dijkstra from the source, truncated the
+moment the farthest pending target settles, instead of one bidirectional
+search per pair, and ``query_many`` groups arbitrary pairs by source to get
+the same effect.  Both searches compute exact shortest distances, but because
+floating-point addition is not associative the unidirectional sum can differ
+from the bidirectional split-sum in the final ulp; the batch plane is
+bit-identical to the canonical single-source Dijkstra
+(:func:`repro.algorithms.dijkstra.dijkstra_distance`) and agrees with the
+scalar :meth:`query` to within that rounding (see DESIGN.md §6).
 """
 
 from __future__ import annotations
 
-from repro.algorithms.dijkstra import bidijkstra
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.algorithms.dijkstra import bidijkstra, dijkstra
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import VertexNotFoundError
+from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
+from repro.registry import IndexSpec, register_spec
+
+INF = math.inf
 
 
 class BiDijkstraIndex(DistanceIndex):
@@ -30,6 +49,21 @@ class BiDijkstraIndex(DistanceIndex):
             raise VertexNotFoundError(target)
         return bidijkstra(self.graph, source, target)
 
+    def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """One truncated Dijkstra instead of ``len(targets)`` bidirectional searches.
+
+        The search stops as soon as the farthest pending target settles, so
+        the cost of the whole batch is a single (partial) graph sweep.
+        """
+        if not self.graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        targets = list(targets)
+        for target in targets:
+            if not self.graph.has_vertex(target):
+                raise VertexNotFoundError(target)
+        settled = dijkstra(self.graph, source, targets=targets)
+        return [settled.get(target, INF) for target in targets]
+
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         report = UpdateReport()
         with Timer() as timer:
@@ -39,3 +73,14 @@ class BiDijkstraIndex(DistanceIndex):
 
     def index_size(self) -> int:
         return 0
+
+
+@register_spec
+@dataclass(frozen=True)
+class BiDijkstraSpec(IndexSpec):
+    """Construction spec for the index-free BiDijkstra baseline (no knobs)."""
+
+    method = "BiDijkstra"
+
+    def create(self, graph: Graph) -> BiDijkstraIndex:
+        return BiDijkstraIndex(graph)

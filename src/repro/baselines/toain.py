@@ -24,13 +24,15 @@ from __future__ import annotations
 
 import heapq
 import math
-import time
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
+from repro.hierarchy.ch import ch_bidirectional_query
+from repro.registry import IndexSpec, register_spec
 from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
 
 INF = math.inf
@@ -122,20 +124,68 @@ class TOAINIndex(DistanceIndex):
             if d_t is not None and d_s + d_t < best:
                 best = d_s + d_t
 
-        from repro.hierarchy.ch import ch_bidirectional_query
+        below = ch_bidirectional_query(source, target, self._sub_core_upward())
+        return min(best, below)
 
+    def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """Batched queries sharing the source's hub labels and a memoised
+        sub-core adjacency.
+
+        The materialised label set of the source is fetched once and joined
+        against every target; the filtered sub-core upward neighbourhoods the
+        per-pair CH searches touch are computed once per vertex for the whole
+        batch.  Per-pair arithmetic matches :meth:`query` exactly, so results
+        are bit-identical to the scalar path.
+        """
+        contraction = self._require_built()
+        if source not in contraction.rank:
+            raise VertexNotFoundError(source)
+        targets = list(targets)
+        for target in targets:
+            if target not in contraction.rank:
+                raise VertexNotFoundError(target)
+        labels_s = self.core_labels[source]
+        sub_core_upward = self._sub_core_upward(memo={})
+        results: List[float] = []
+        for target in targets:
+            if source == target:
+                results.append(0.0)
+                continue
+            labels_t = self.core_labels[target]
+            best = INF
+            for hub, d_s in labels_s.items():
+                d_t = labels_t.get(hub)
+                if d_t is not None and d_s + d_t < best:
+                    best = d_s + d_t
+            below = ch_bidirectional_query(source, target, sub_core_upward)
+            results.append(min(best, below))
+        return results
+
+    def _sub_core_upward(self, memo: Optional[Dict[int, Dict[int, float]]] = None):
+        """Upward-neighbour callback restricted to the sub-core hierarchy.
+
+        With ``memo`` the filtered neighbourhoods are cached across calls
+        (values are identical either way — the cache only avoids refiltering).
+        """
+        contraction = self.contraction
         rank = contraction.rank
         threshold = self.core_rank_threshold
 
-        def sub_core_upward(v: int) -> Dict[int, float]:
-            return {
+        def sub_core(v: int) -> Dict[int, float]:
+            if memo is not None:
+                cached = memo.get(v)
+                if cached is not None:
+                    return cached
+            filtered = {
                 u: w
                 for u, w in contraction.shortcuts[v].items()
                 if rank[u] < threshold
             }
+            if memo is not None:
+                memo[v] = filtered
+            return filtered
 
-        below = ch_bidirectional_query(source, target, sub_core_upward)
-        return min(best, below)
+        return sub_core
 
     # ------------------------------------------------------------------
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
@@ -172,3 +222,19 @@ class TOAINIndex(DistanceIndex):
         return contraction.shortcut_count() + sum(
             len(labels) for labels in self.core_labels.values()
         )
+
+
+@register_spec
+@dataclass(frozen=True)
+class TOAINSpec(IndexSpec):
+    """Construction spec for the simplified TOAIN / SCOB baseline."""
+
+    method = "TOAIN"
+    config_fields = {"checkin_fraction": "toain_checkin_fraction"}
+
+    #: Fraction of the highest-ranked vertices whose distances are
+    #: materialised per vertex (the throughput-tuning knob).
+    checkin_fraction: float = 0.2
+
+    def create(self, graph: Graph) -> TOAINIndex:
+        return TOAINIndex(graph, checkin_fraction=self.checkin_fraction)

@@ -26,7 +26,7 @@ U-Stage 5 only has to refresh distance labels.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.labeling.h2h import H2HLabels
 from repro.partitioning.base import Partitioning

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.dijkstra import bidijkstra
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
@@ -39,6 +40,7 @@ from repro.partitioning.natural_cut import natural_cut_partition
 from repro.partitioning.ordering import boundary_first_order
 from repro.psp.overlay import OverlayIndex
 from repro.psp.partition_family import PartitionIndexFamily
+from repro.registry import IndexSpec, register_spec
 from repro.treedec.tree import TreeDecomposition
 
 INF = math.inf
@@ -180,6 +182,23 @@ class PMHLIndex(DistanceIndex):
         if not self.graph.has_vertex(target):
             raise VertexNotFoundError(target)
         return self.query_cross_boundary(source, target)
+
+    def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """Amortised batch query on the cross-boundary labels ``L*``.
+
+        The source's label array is fetched once and intersected against
+        every target (the 2-hop arithmetic is exactly the scalar path's, so
+        distances are bit-identical); ``query_many`` groups arbitrary pair
+        batches by source on top of this.
+        """
+        self._require_built()
+        if not self.graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        targets = list(targets)
+        for target in targets:
+            if not self.graph.has_vertex(target):
+                raise VertexNotFoundError(target)
+        return self.cross_labels.query_one_to_many(source, targets)
 
     def query_at_stage(self, source: int, target: int, stage: PMHLQueryStage) -> float:
         """Dispatch a query to the requested stage's algorithm."""
@@ -450,3 +469,20 @@ class PMHLIndex(DistanceIndex):
                 "query": self.query_cross_boundary,
             },
         ]
+
+
+@register_spec
+@dataclass(frozen=True)
+class PMHLSpec(IndexSpec):
+    """Construction spec for the Partitioned Multi-stage Hub Labeling index."""
+
+    method = "PMHL"
+    config_fields = {"num_partitions": "partition_number", "seed": "seed"}
+
+    #: Partition number ``k``.
+    num_partitions: int = 8
+    #: Partitioner seed.
+    seed: int = 0
+
+    def create(self, graph: Graph) -> PMHLIndex:
+        return PMHLIndex(graph, num_partitions=self.num_partitions, seed=self.seed)

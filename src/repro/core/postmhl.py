@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.dijkstra import bidijkstra
@@ -34,6 +35,7 @@ from repro.graph.updates import UpdateBatch
 from repro.hierarchy.ch import ch_bidirectional_query
 from repro.labeling.h2h import H2HLabels
 from repro.partitioning.td_partition import TDPartitioning, td_partition
+from repro.registry import IndexSpec, register_spec
 from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
 from repro.treedec.tree import TreeDecomposition
 
@@ -181,6 +183,23 @@ class PostMHLIndex(DistanceIndex):
         if not self.graph.has_vertex(target):
             raise VertexNotFoundError(target)
         return self.query_cross_boundary(source, target)
+
+    def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """Amortised batch query on the amalgamated H2H labels.
+
+        The source's distance array is fetched once and intersected against
+        every target with exactly the scalar path's 2-hop arithmetic, so
+        distances are bit-identical; ``query_many`` groups arbitrary pair
+        batches by source on top of this.
+        """
+        self._require_built()
+        if not self.graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        targets = list(targets)
+        for target in targets:
+            if not self.graph.has_vertex(target):
+                raise VertexNotFoundError(target)
+        return self.labels.query_one_to_many(source, targets)
 
     def query_at_stage(self, source: int, target: int, stage: PostMHLQueryStage) -> float:
         """Dispatch a query to the requested stage's algorithm."""
@@ -504,3 +523,29 @@ class PostMHLIndex(DistanceIndex):
                 "query": self.query_cross_boundary,
             },
         ]
+
+
+@register_spec
+@dataclass(frozen=True)
+class PostMHLSpec(IndexSpec):
+    """Construction spec for the Post-partitioned Multi-stage Hub Labeling index."""
+
+    method = "PostMHL"
+    config_fields = {"bandwidth": "bandwidth", "expected_partitions": "expected_partitions"}
+
+    #: ``τ`` — maximum boundary size allowed for a partition root.
+    bandwidth: int = 12
+    #: ``k_e`` — desired partition count for TD-partitioning.
+    expected_partitions: int = 8
+    #: Partition-size imbalance bounds (the paper uses 0.1 and 2).
+    beta_lower: float = 0.1
+    beta_upper: float = 2.0
+
+    def create(self, graph: Graph) -> PostMHLIndex:
+        return PostMHLIndex(
+            graph,
+            bandwidth=self.bandwidth,
+            expected_partitions=self.expected_partitions,
+            beta_lower=self.beta_lower,
+            beta_upper=self.beta_upper,
+        )

@@ -36,6 +36,7 @@ from repro.experiments import (
 )
 from repro.experiments.config import DEFAULT_CONFIG, PAPER_TABLE_II, ExperimentConfig
 from repro.experiments.methods import ALL_METHODS, QUICK_METHODS, build_method, method_names
+from repro.registry import create_index, experiment_methods, spec_from_config
 from repro.experiments.runner import (
     IndexPerformance,
     format_table,
@@ -67,6 +68,9 @@ __all__ = [
     "QUICK_METHODS",
     "build_method",
     "method_names",
+    "create_index",
+    "experiment_methods",
+    "spec_from_config",
     "measure_index_performance",
     "measure_throughput",
     "IndexPerformance",

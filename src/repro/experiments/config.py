@@ -10,8 +10,8 @@ The mapping is recorded in DESIGN.md §3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass(frozen=True)

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.pmhl import PMHLIndex
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import measure_throughput, prepare_dataset
+from repro.registry import create_index
 
 
 def partition_number_rows(
@@ -26,7 +26,7 @@ def partition_number_rows(
     rows: List[Dict[str, object]] = []
     for k in partition_numbers:
         working = graph.copy()
-        index = PMHLIndex(working, num_partitions=k, seed=config.seed)
+        index = create_index("PMHL", working, num_partitions=k, seed=config.seed)
         index.build()
         result = measure_throughput(
             "PMHL", dataset, config, graph=working, prebuilt=index

@@ -14,7 +14,7 @@ from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.methods import method_names
+from repro.registry import experiment_methods
 from repro.experiments.runner import measure_index_performance, prepare_dataset
 
 
@@ -24,7 +24,7 @@ def index_performance_rows(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> List[Dict[str, object]]:
     """One row per (method, dataset) with t_c, |L|, t_q, t_u."""
-    methods = list(methods) if methods is not None else method_names()
+    methods = list(methods) if methods is not None else experiment_methods()
     rows: List[Dict[str, object]] = []
     for dataset in datasets:
         graph = prepare_dataset(dataset)
@@ -37,5 +37,5 @@ def index_performance_rows(
 def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
     """Regenerate Figure 11 (quick mode uses the small datasets and method subset)."""
     datasets = config.quick_datasets if quick else config.full_datasets
-    methods = method_names(quick=quick)
+    methods = experiment_methods(quick=quick)
     return index_performance_rows(datasets, methods, config)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.methods import method_names
+from repro.registry import experiment_methods
 from repro.experiments.runner import measure_throughput, prepare_dataset
 
 
@@ -21,7 +21,7 @@ def throughput_rows(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> List[Dict[str, object]]:
     """One row per (method, dataset) with λ*_q and its two ingredients."""
-    methods = list(methods) if methods is not None else method_names()
+    methods = list(methods) if methods is not None else experiment_methods()
     rows: List[Dict[str, object]] = []
     for dataset in datasets:
         graph = prepare_dataset(dataset)
@@ -42,5 +42,5 @@ def throughput_rows(
 def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
     """Regenerate Figure 12 (quick mode restricts datasets and methods)."""
     datasets = config.quick_datasets if quick else config.full_datasets
-    methods = method_names(quick=quick)
+    methods = experiment_methods(quick=quick)
     return throughput_rows(datasets, methods, config)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.methods import build_method, method_names
+from repro.registry import create_index, experiment_methods, spec_from_config
 from repro.experiments.runner import prepare_dataset, prepare_workload
 from repro.graph.updates import generate_update_batch
 from repro.throughput.evaluator import ThroughputEvaluator
@@ -24,7 +24,7 @@ def qps_evolution_rows(
     num_points: int = 10,
 ) -> List[Dict[str, object]]:
     """QPS samples over one update interval for every method on one dataset."""
-    methods = list(methods) if methods is not None else method_names()
+    methods = list(methods) if methods is not None else experiment_methods()
     graph = prepare_dataset(dataset)
     rows: List[Dict[str, object]] = []
     evaluator = ThroughputEvaluator(
@@ -35,7 +35,7 @@ def qps_evolution_rows(
     )
     for method in methods:
         working = graph.copy()
-        index = build_method(method, working, config)
+        index = create_index(spec_from_config(method, config), working)
         index.build()
         workload = prepare_workload(working, config)
         batch = generate_update_batch(working, config.update_volume, seed=config.seed)
@@ -58,7 +58,7 @@ def qps_evolution_rows(
 def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
     """Regenerate Figure 13 on NY (and FLA when not in quick mode)."""
     datasets = ("NY",) if quick else ("NY", "FLA")
-    methods = method_names(quick=quick)
+    methods = experiment_methods(quick=quick)
     rows: List[Dict[str, object]] = []
     for dataset in datasets:
         rows.extend(qps_evolution_rows(dataset, methods, config))

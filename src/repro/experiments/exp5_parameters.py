@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.methods import build_method, method_names
+from repro.registry import create_index, experiment_methods, spec_from_config
 from repro.experiments.runner import measure_throughput, prepare_dataset
 
 
@@ -21,12 +21,12 @@ def parameter_sweep_rows(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> List[Dict[str, object]]:
     """Three sweeps (|U|, δt, R*_q) for every method on one dataset."""
-    methods = list(methods) if methods is not None else method_names()
+    methods = list(methods) if methods is not None else experiment_methods()
     graph = prepare_dataset(dataset)
     rows: List[Dict[str, object]] = []
     for method in methods:
         working = graph.copy()
-        index = build_method(method, working, config)
+        index = create_index(spec_from_config(method, config), working)
         try:
             index.build()
         except NotImplementedError:  # pragma: no cover - defensive
@@ -70,7 +70,7 @@ def _row(dataset, method, parameter, value, result) -> Dict[str, object]:
 def run(config: ExperimentConfig = DEFAULT_CONFIG, quick: bool = False) -> List[Dict[str, object]]:
     """Regenerate Figure 14 (quick mode restricts to NY and the method subset)."""
     datasets = ("NY",) if quick else ("NY", "FLA", "SC")
-    methods = method_names(quick=quick)
+    methods = experiment_methods(quick=quick)
     rows: List[Dict[str, object]] = []
     for dataset in datasets:
         rows.extend(parameter_sweep_rows(dataset, methods, config))

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.methods import build_method
+from repro.registry import create_index, spec_from_config
 from repro.experiments.runner import prepare_dataset, prepare_workload
 from repro.graph.updates import generate_update_batch
 from repro.throughput.evaluator import ThroughputEvaluator
@@ -30,7 +30,7 @@ def thread_sweep_rows(
     rows: List[Dict[str, object]] = []
     for method in methods:
         working = graph.copy()
-        index = build_method(method, working, config)
+        index = create_index(spec_from_config(method, config), working)
         index.build()
         workload = prepare_workload(working, config)
         batch = generate_update_batch(working, config.update_volume, seed=config.seed)

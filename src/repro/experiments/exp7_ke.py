@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.core.postmhl import PostMHLIndex
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import measure_throughput, prepare_dataset
+from repro.registry import create_index
 
 
 def ke_sweep_rows(
@@ -24,8 +24,8 @@ def ke_sweep_rows(
     rows: List[Dict[str, object]] = []
     for ke in expected_partitions_grid:
         working = graph.copy()
-        index = PostMHLIndex(
-            working, bandwidth=config.bandwidth, expected_partitions=ke
+        index = create_index(
+            "PostMHL", working, bandwidth=config.bandwidth, expected_partitions=ke
         )
         index.build()
         result = measure_throughput(

@@ -12,9 +12,9 @@ import statistics
 import time
 from typing import Dict, List, Sequence
 
-from repro.core.postmhl import PostMHLIndex
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import measure_throughput, prepare_dataset, prepare_workload
+from repro.registry import create_index
 
 
 def bandwidth_sweep_rows(
@@ -27,7 +27,8 @@ def bandwidth_sweep_rows(
     rows: List[Dict[str, object]] = []
     for bandwidth in bandwidth_grid:
         working = graph.copy()
-        index = PostMHLIndex(
+        index = create_index(
+            "PostMHL",
             working,
             bandwidth=bandwidth,
             expected_partitions=config.expected_partitions,

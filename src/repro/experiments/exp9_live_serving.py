@@ -17,11 +17,11 @@ maintenance or pay search-based query costs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import prepare_dataset, prepare_workload
-from repro.experiments.methods import build_method
+from repro.registry import create_index, spec_from_config
 from repro.graph.updates import generate_update_batch, generate_update_stream
 from repro.serving.driver import run_mixed_workload
 from repro.serving.engine import ServingEngine
@@ -48,7 +48,7 @@ def live_serving_rows(
     rows: List[Dict[str, object]] = []
     for method in methods:
         graph = base_graph.copy()
-        index = build_method(method, graph, config)
+        index = create_index(spec_from_config(method, config), graph)
         index.build()
         workload = prepare_workload(graph, config)
 

@@ -1,73 +1,64 @@
-"""Method registry: build any of the paper's compared methods by name.
+"""Deprecated string-keyed method dispatch (use :mod:`repro.registry`).
 
-The evaluation compares eight methods (Section VII-A): BiDijkstra, DCH, DH2H,
-TOAIN, N-CH-P, P-TD-P, PMHL and PostMHL.  This registry instantiates each of
-them with the experiment configuration so every experiment driver builds
-methods the same way.
+This module used to hold a hand-written dispatch table instantiating each of
+the paper's compared methods.  Construction now goes through the typed
+registry — per-method :class:`~repro.registry.IndexSpec` dataclasses and the
+:func:`~repro.registry.create_index` factory — and this module only keeps the
+old names alive as thin shims:
+
+* :func:`build_method` → ``create_index(spec_from_config(name, config), graph)``
+* :func:`method_names` → :func:`repro.registry.experiment_methods`
+
+Both emit a :class:`DeprecationWarning`; new code should import from
+``repro.registry`` (or ``repro``) directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import warnings
+from typing import List
 
 from repro.base import DistanceIndex
-from repro.baselines.bidijkstra_index import BiDijkstraIndex
-from repro.baselines.toain import TOAINIndex
-from repro.core.pmhl import PMHLIndex
-from repro.core.postmhl import PostMHLIndex
-from repro.experiments.config import ExperimentConfig
 from repro.graph.graph import Graph
-from repro.hierarchy.ch import DCHIndex
-from repro.labeling.h2h import DH2HIndex
-from repro.psp.no_boundary import NCHPIndex
-from repro.psp.post_boundary import PTDPIndex
+from repro.registry import (
+    PAPER_METHODS,
+    create_index,
+    experiment_methods,
+    spec_from_config,
+)
 
 #: Method names in the order the paper's figures list them.
-ALL_METHODS = (
-    "BiDijkstra",
-    "DCH",
-    "DH2H",
-    "TOAIN",
-    "N-CH-P",
-    "P-TD-P",
-    "PMHL",
-    "PostMHL",
-)
+ALL_METHODS = PAPER_METHODS
 
 #: Methods used by the quick benchmark runs (all of the paper's methods; the
 #: quick configuration only shrinks the datasets and parameter grids).
 QUICK_METHODS = ALL_METHODS
 
 
-def build_method(name: str, graph: Graph, config: ExperimentConfig) -> DistanceIndex:
-    """Instantiate (but do not build) the method ``name`` on ``graph``."""
-    builders: Dict[str, Callable[[], DistanceIndex]] = {
-        "BiDijkstra": lambda: BiDijkstraIndex(graph),
-        "DCH": lambda: DCHIndex(graph),
-        "DH2H": lambda: DH2HIndex(graph),
-        "TOAIN": lambda: TOAINIndex(graph, checkin_fraction=config.toain_checkin_fraction),
-        "N-CH-P": lambda: NCHPIndex(
-            graph, num_partitions=config.partition_number, seed=config.seed
-        ),
-        "P-TD-P": lambda: PTDPIndex(
-            graph, num_partitions=config.partition_number, seed=config.seed
-        ),
-        "PMHL": lambda: PMHLIndex(
-            graph, num_partitions=config.partition_number, seed=config.seed
-        ),
-        "PostMHL": lambda: PostMHLIndex(
-            graph,
-            bandwidth=config.bandwidth,
-            expected_partitions=config.expected_partitions,
-        ),
-    }
-    try:
-        return builders[name]()
-    except KeyError as exc:
-        known = ", ".join(ALL_METHODS)
-        raise ValueError(f"unknown method {name!r}; known methods: {known}") from exc
+def build_method(name: str, graph: Graph, config) -> DistanceIndex:
+    """Deprecated: instantiate (but do not build) the method ``name``.
+
+    Use ``repro.create_index(name, graph, **params)`` or
+    ``create_index(spec_from_config(name, config), graph)`` instead.
+    """
+    warnings.warn(
+        "repro.experiments.methods.build_method is deprecated; use "
+        "repro.create_index / repro.registry.spec_from_config instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return create_index(spec_from_config(name, config), graph)
 
 
 def method_names(quick: bool = False) -> List[str]:
-    """Names of the compared methods (quick subset or all)."""
-    return list(QUICK_METHODS if quick else ALL_METHODS)
+    """Deprecated: names of the compared methods (quick subset or all).
+
+    Use :func:`repro.registry.experiment_methods` instead.
+    """
+    warnings.warn(
+        "repro.experiments.methods.method_names is deprecated; use "
+        "repro.registry.experiment_methods instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return experiment_methods(quick=quick)

@@ -16,14 +16,14 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.base import DistanceIndex
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.methods import build_method
 from repro.graph.generators import load_dataset
 from repro.graph.graph import Graph
-from repro.graph.updates import UpdateBatch, generate_update_batch
+from repro.graph.updates import generate_update_batch
+from repro.registry import create_index, spec_from_config
 from repro.throughput.evaluator import ThroughputEvaluator, ThroughputResult
 from repro.throughput.parallel import report_wall_seconds
 from repro.throughput.workload import QueryWorkload, sample_query_pairs
@@ -85,7 +85,7 @@ def measure_index_performance(
     """Construction time, size, query time and update time of one method."""
     graph = graph if graph is not None else prepare_dataset(dataset)
     graph = graph.copy()
-    index = build_method(method, graph, config)
+    index = create_index(spec_from_config(method, config), graph)
     build_seconds = index.build()
     workload = prepare_workload(graph, config)
     query_seconds = measure_query_seconds(index, workload)
@@ -120,7 +120,7 @@ def measure_throughput(
     graph = graph if graph is not None else prepare_dataset(dataset)
     if prebuilt is None:
         graph = graph.copy()
-        index = build_method(method, graph, config)
+        index = create_index(spec_from_config(method, config), graph)
         index.build()
     else:
         index = prebuilt

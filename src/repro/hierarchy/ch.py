@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import heapq
 import math
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
+from repro.registry import IndexSpec, register_spec
 from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
 
 INF = math.inf
@@ -179,3 +181,20 @@ class DCHIndex(CHIndex):
         self._emit_stage(report, StageTiming("shortcut_update", timer.seconds))
         self.last_changed_shortcuts = changed
         return report
+
+
+@register_spec
+@dataclass(frozen=True)
+class DCHSpec(IndexSpec):
+    """Construction spec for the dynamic CH baseline (no knobs).
+
+    DCH keeps the base class's scalar batch loop: its query is a pruned
+    bidirectional search whose result depends on the interleaving of the two
+    frontiers, so any shared-search amortisation would perturb the
+    floating-point rounding of the scalar path.
+    """
+
+    method = "DCH"
+
+    def create(self, graph: Graph) -> DCHIndex:
+        return DCHIndex(graph)

@@ -24,10 +24,13 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from dataclasses import dataclass
+
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
+from repro.registry import IndexSpec, register_spec
 from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
 from repro.treedec.tree import TreeDecomposition
 
@@ -113,6 +116,35 @@ class H2HLabels:
             if candidate < best:
                 best = candidate
         return best
+
+    def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """Batched 2-hop queries sharing one fetch of the source's label.
+
+        The source's distance array is loaded once and intersected against
+        every target's array; per-pair arithmetic is exactly that of
+        :meth:`query`, so the results are bit-identical to the scalar path.
+        """
+        tree = self.tree
+        dis = self.dis
+        pos = self.pos
+        dis_s = dis[source]
+        results: List[float] = []
+        for target in targets:
+            if source == target:
+                results.append(0.0)
+                continue
+            if not tree.same_component(source, target):
+                results.append(INF)
+                continue
+            lca = tree.lca(source, target)
+            dis_t = dis[target]
+            best = INF
+            for i in pos[lca]:
+                candidate = dis_s[i] + dis_t[i]
+                if candidate < best:
+                    best = candidate
+            results.append(best)
+        return results
 
     def distance_to_ancestor(self, v: int, ancestor: int) -> float:
         """Distance from ``v`` to one of its ancestors (O(1) label lookup)."""
@@ -207,6 +239,18 @@ class H2HIndex(DistanceIndex):
             raise VertexNotFoundError(target)
         return labels.query(source, target)
 
+    def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """Amortised batch query: the source label is fetched once."""
+        labels = self._require_built()
+        rank = self.contraction.rank
+        if source not in rank:
+            raise VertexNotFoundError(source)
+        targets = list(targets)
+        for target in targets:
+            if target not in rank:
+                raise VertexNotFoundError(target)
+        return labels.query_one_to_many(source, targets)
+
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         raise NotImplementedError("H2HIndex is static; use DH2HIndex for dynamic maintenance")
 
@@ -262,3 +306,14 @@ class DH2HIndex(H2HIndex):
         self.last_changed_shortcuts = changed_shortcuts
         self.last_changed_labels = changed_labels
         return report
+
+
+@register_spec
+@dataclass(frozen=True)
+class DH2HSpec(IndexSpec):
+    """Construction spec for the dynamic H2H baseline (no knobs)."""
+
+    method = "DH2H"
+
+    def create(self, graph: Graph) -> DH2HIndex:
+        return DH2HIndex(graph)

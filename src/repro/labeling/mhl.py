@@ -20,14 +20,17 @@ know when each query stage becomes available.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Dict, List
 
 from repro.algorithms.dijkstra import bidijkstra
 from repro.base import StageTiming, Timer, UpdateReport
+from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
 from repro.hierarchy.ch import ch_bidirectional_query
 from repro.labeling.h2h import DH2HIndex
+from repro.registry import IndexSpec, register_spec
 from repro.treedec.mde import update_shortcuts_bottom_up
 
 
@@ -136,3 +139,14 @@ class MHLIndex(DH2HIndex):
                 "query": self.query_h2h,
             },
         ]
+
+
+@register_spec
+@dataclass(frozen=True)
+class MHLSpec(IndexSpec):
+    """Construction spec for the non-partitioned multi-stage MHL index."""
+
+    method = "MHL"
+
+    def create(self, graph: Graph) -> MHLIndex:
+        return MHLIndex(graph)

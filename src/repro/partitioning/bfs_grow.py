@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.exceptions import PartitioningError
 from repro.graph.graph import Graph

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
@@ -30,6 +31,7 @@ from repro.partitioning.natural_cut import natural_cut_partition
 from repro.partitioning.ordering import boundary_first_order
 from repro.psp.overlay import OverlayIndex
 from repro.psp.partition_family import PartitionIndexFamily
+from repro.registry import IndexSpec, register_spec
 
 INF = math.inf
 
@@ -98,16 +100,88 @@ class NoBoundaryPSPIndex(DistanceIndex):
 
     # ------------------------------------------------------------------
     # Query processing
+    #
+    # The case analysis is written against two injectable fetchers so the
+    # batch plane can share memoised lookups across a whole batch:
+    #
+    # * ``overlay_query(bp, bq)`` — global boundary-to-boundary distance,
+    # * ``to_boundary(pid, v)``   — distances from ``v`` to its partition
+    #   boundary (through whichever family answers same-partition queries).
+    #
+    # The scalar path passes the raw (unmemoised) fetchers, the batch path
+    # memoising wrappers around the very same calls, so both produce
+    # bit-identical distances.
     # ------------------------------------------------------------------
+    def _to_boundary(self, pid: int, vertex: int) -> Dict[int, float]:
+        """Distances from ``vertex`` to its partition boundary (overridable)."""
+        return self.family.distances_to_boundary(pid, vertex)
+
     def query(self, source: int, target: int) -> float:
         self._require_built()
         if not self.graph.has_vertex(source):
             raise VertexNotFoundError(source)
         if not self.graph.has_vertex(target):
             raise VertexNotFoundError(target)
+        return self._query_with(source, target, self.overlay.query, self._to_boundary)
+
+    def query_many(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
+        """Batched queries sharing overlay/boundary lookups across the batch.
+
+        One memo of overlay boundary-pair distances and one of
+        vertex-to-boundary distance maps span the whole batch, so the
+        concatenation lookups that dominate PSP queries — shared by every
+        pair with the same (source-partition, target-partition) footprint —
+        are paid once per distinct vertex/boundary pair instead of once per
+        query pair.
+        """
+        self._require_built()
+        pair_list = list(pairs)
+        for source, target in pair_list:
+            if not self.graph.has_vertex(source):
+                raise VertexNotFoundError(source)
+            if not self.graph.has_vertex(target):
+                raise VertexNotFoundError(target)
+
+        overlay_memo: Dict[Tuple[int, int], float] = {}
+        overlay_query = self.overlay.query
+
+        def cached_overlay(bp: int, bq: int) -> float:
+            key = (bp, bq)
+            hit = overlay_memo.get(key)
+            if hit is None:
+                hit = overlay_query(bp, bq)
+                overlay_memo[key] = hit
+            return hit
+
+        boundary_memo: Dict[Tuple[int, int], Dict[int, float]] = {}
+
+        def cached_to_boundary(pid: int, vertex: int) -> Dict[int, float]:
+            key = (pid, vertex)
+            hit = boundary_memo.get(key)
+            if hit is None:
+                hit = self._to_boundary(pid, vertex)
+                boundary_memo[key] = hit
+            return hit
+
+        return [
+            self._query_with(source, target, cached_overlay, cached_to_boundary)
+            for source, target in pair_list
+        ]
+
+    def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """One-to-many batch: the source's boundary distances are fetched once."""
+        return self.query_many([(source, target) for target in targets])
+
+    def _query_with(
+        self,
+        source: int,
+        target: int,
+        overlay_query: Callable[[int, int], float],
+        to_boundary: Callable[[int, int], Dict[int, float]],
+    ) -> float:
+        """Shared scalar/batch case analysis (Section III-C query cases)."""
         if source == target:
             return 0.0
-
         partitioning = self.partitioning
         pid_s = partitioning.partition_of(source)
         pid_t = partitioning.partition_of(target)
@@ -117,54 +191,78 @@ class NoBoundaryPSPIndex(DistanceIndex):
         target_is_boundary = target in boundary_t
 
         if pid_s == pid_t:
-            return self._same_partition_query(pid_s, source, target)
+            return self._same_partition_query(
+                pid_s, source, target, overlay_query, to_boundary
+            )
         if source_is_boundary and target_is_boundary:
-            return self.overlay.query(source, target)
+            return overlay_query(source, target)
         if source_is_boundary:
-            return self._boundary_to_inner(source, pid_t, target)
+            return self._boundary_to_inner(source, pid_t, target, overlay_query, to_boundary)
         if target_is_boundary:
-            return self._boundary_to_inner(target, pid_s, source)
-        return self._inner_to_inner(pid_s, source, pid_t, target)
+            return self._boundary_to_inner(target, pid_s, source, overlay_query, to_boundary)
+        return self._inner_to_inner(pid_s, source, pid_t, target, overlay_query, to_boundary)
 
-    def _same_partition_query(self, pid: int, source: int, target: int) -> float:
+    def _same_partition_query(
+        self,
+        pid: int,
+        source: int,
+        target: int,
+        overlay_query: Callable[[int, int], float],
+        to_boundary: Callable[[int, int], Dict[int, float]],
+    ) -> float:
         """Same-partition query: local distance vs. detour through the overlay."""
         best = self.family.query(pid, source, target)
-        source_to_boundary = self.family.distances_to_boundary(pid, source)
-        target_to_boundary = self.family.distances_to_boundary(pid, target)
+        source_to_boundary = to_boundary(pid, source)
+        target_to_boundary = to_boundary(pid, target)
         for bp, d_s in source_to_boundary.items():
             if d_s == INF:
                 continue
             for bq, d_t in target_to_boundary.items():
                 if d_t == INF:
                     continue
-                candidate = d_s + self.overlay.query(bp, bq) + d_t
+                candidate = d_s + overlay_query(bp, bq) + d_t
                 if candidate < best:
                     best = candidate
         return best
 
-    def _boundary_to_inner(self, boundary_vertex: int, pid: int, inner: int) -> float:
+    def _boundary_to_inner(
+        self,
+        boundary_vertex: int,
+        pid: int,
+        inner: int,
+        overlay_query: Callable[[int, int], float],
+        to_boundary: Callable[[int, int], Dict[int, float]],
+    ) -> float:
         """Query between a boundary vertex and a non-boundary vertex of partition ``pid``."""
         best = INF
-        for bq, d_t in self.family.distances_to_boundary(pid, inner).items():
+        for bq, d_t in to_boundary(pid, inner).items():
             if d_t == INF:
                 continue
-            candidate = self.overlay.query(boundary_vertex, bq) + d_t
+            candidate = overlay_query(boundary_vertex, bq) + d_t
             if candidate < best:
                 best = candidate
         return best
 
-    def _inner_to_inner(self, pid_s: int, source: int, pid_t: int, target: int) -> float:
+    def _inner_to_inner(
+        self,
+        pid_s: int,
+        source: int,
+        pid_t: int,
+        target: int,
+        overlay_query: Callable[[int, int], float],
+        to_boundary: Callable[[int, int], Dict[int, float]],
+    ) -> float:
         """Cross-partition query between two non-boundary vertices."""
         best = INF
-        source_to_boundary = self.family.distances_to_boundary(pid_s, source)
-        target_to_boundary = self.family.distances_to_boundary(pid_t, target)
+        source_to_boundary = to_boundary(pid_s, source)
+        target_to_boundary = to_boundary(pid_t, target)
         for bp, d_s in source_to_boundary.items():
             if d_s == INF:
                 continue
             for bq, d_t in target_to_boundary.items():
                 if d_t == INF:
                     continue
-                candidate = d_s + self.overlay.query(bp, bq) + d_t
+                candidate = d_s + overlay_query(bp, bq) + d_t
                 if candidate < best:
                     best = candidate
         return best
@@ -260,3 +358,21 @@ class NCHPIndex(NoBoundaryPSPIndex):
             partitioning=partitioning,
             seed=seed,
         )
+
+
+@register_spec
+@dataclass(frozen=True)
+class NCHPSpec(IndexSpec):
+    """Construction spec for the N-CH-P baseline (no-boundary PSP, DCH underlying)."""
+
+    method = "N-CH-P"
+    aliases = ("NCHP",)
+    config_fields = {"num_partitions": "partition_number", "seed": "seed"}
+
+    #: Number of partitions ``k``.
+    num_partitions: int = 4
+    #: Partitioner seed.
+    seed: int = 0
+
+    def create(self, graph: Graph) -> NCHPIndex:
+        return NCHPIndex(graph, num_partitions=self.num_partitions, seed=self.seed)

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.base import StageTiming, UpdateReport
 from repro.graph.graph import Graph
@@ -24,6 +25,7 @@ from repro.graph.updates import UpdateBatch
 from repro.partitioning.base import Partitioning
 from repro.psp.no_boundary import NoBoundaryPSPIndex
 from repro.psp.partition_family import PartitionIndexFamily
+from repro.registry import IndexSpec, register_spec
 
 INF = math.inf
 
@@ -80,31 +82,60 @@ class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
 
     # ------------------------------------------------------------------
     # Query processing (same-partition queries go straight to {L'_i})
+    #
+    # Boundary distances flow through the extended family here, so the
+    # inherited ``query_many`` batch memo automatically caches extended-family
+    # lookups instead of the base family's.
     # ------------------------------------------------------------------
-    def _same_partition_query(self, pid: int, source: int, target: int) -> float:
+    def _to_boundary(self, pid: int, vertex: int) -> Dict[int, float]:
+        return self.extended_family.distances_to_boundary(pid, vertex)
+
+    def _same_partition_query(
+        self,
+        pid: int,
+        source: int,
+        target: int,
+        overlay_query: Callable[[int, int], float],
+        to_boundary: Callable[[int, int], Dict[int, float]],
+    ) -> float:
         return self.extended_family.query(pid, source, target)
 
-    def _boundary_to_inner(self, boundary_vertex: int, pid: int, inner: int) -> float:
+    def _boundary_to_inner(
+        self,
+        boundary_vertex: int,
+        pid: int,
+        inner: int,
+        overlay_query: Callable[[int, int], float],
+        to_boundary: Callable[[int, int], Dict[int, float]],
+    ) -> float:
         best = INF
-        for bq, d_t in self.extended_family.distances_to_boundary(pid, inner).items():
+        for bq, d_t in to_boundary(pid, inner).items():
             if d_t == INF:
                 continue
-            candidate = self.overlay.query(boundary_vertex, bq) + d_t
+            candidate = overlay_query(boundary_vertex, bq) + d_t
             if candidate < best:
                 best = candidate
         return best
 
-    def _inner_to_inner(self, pid_s: int, source: int, pid_t: int, target: int) -> float:
+    def _inner_to_inner(
+        self,
+        pid_s: int,
+        source: int,
+        pid_t: int,
+        target: int,
+        overlay_query: Callable[[int, int], float],
+        to_boundary: Callable[[int, int], Dict[int, float]],
+    ) -> float:
         best = INF
-        source_to_boundary = self.extended_family.distances_to_boundary(pid_s, source)
-        target_to_boundary = self.extended_family.distances_to_boundary(pid_t, target)
+        source_to_boundary = to_boundary(pid_s, source)
+        target_to_boundary = to_boundary(pid_t, target)
         for bp, d_s in source_to_boundary.items():
             if d_s == INF:
                 continue
             for bq, d_t in target_to_boundary.items():
                 if d_t == INF:
                     continue
-                candidate = d_s + self.overlay.query(bp, bq) + d_t
+                candidate = d_s + overlay_query(bp, bq) + d_t
                 if candidate < best:
                     best = candidate
         return best
@@ -183,3 +214,21 @@ class PTDPIndex(PostBoundaryPSPIndex):
             partitioning=partitioning,
             seed=seed,
         )
+
+
+@register_spec
+@dataclass(frozen=True)
+class PTDPSpec(IndexSpec):
+    """Construction spec for the P-TD-P baseline (post-boundary PSP, DH2H underlying)."""
+
+    method = "P-TD-P"
+    aliases = ("PTDP",)
+    config_fields = {"num_partitions": "partition_number", "seed": "seed"}
+
+    #: Number of partitions ``k``.
+    num_partitions: int = 4
+    #: Partitioner seed.
+    seed: int = 0
+
+    def create(self, graph: Graph) -> PTDPIndex:
+        return PTDPIndex(graph, num_partitions=self.num_partitions, seed=self.seed)

@@ -18,7 +18,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.exceptions import WorkloadError
 from repro.throughput.qos import qos_constrained_rate

@@ -15,7 +15,7 @@ See DESIGN.md §3 for the substitution rationale.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.base import StageTiming, UpdateReport
 from repro.exceptions import WorkloadError

@@ -44,6 +44,13 @@ def test_city_navigation_example():
     assert "ms/query" in output
 
 
+def test_logistics_batch_planning_example():
+    output = run_example("logistics_batch_planning.py")
+    assert "OD matrix size" in output
+    assert "vs scalar" in output
+    assert "batch query plane" in output
+
+
 def test_live_serving_example():
     output = run_example("live_serving.py")
     assert "update batches" in output

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.experiments import EXPERIMENTS, format_table, method_names
+from repro.experiments import EXPERIMENTS, format_table
 from repro.experiments.ablations import cross_boundary_ablation_rows, multistage_ablation_rows
-from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.config import DEFAULT_CONFIG
 from repro.experiments.datasets import table1_rows
 from repro.experiments.exp1_partition_number import partition_number_rows
 from repro.experiments.exp2_index_performance import index_performance_rows
@@ -13,8 +13,8 @@ from repro.experiments.exp4_qps_evolution import qps_evolution_rows
 from repro.experiments.exp6_threads import thread_sweep_rows
 from repro.experiments.exp7_ke import ke_sweep_rows
 from repro.experiments.exp8_bandwidth import bandwidth_sweep_rows
-from repro.experiments.methods import build_method
 from repro.graph.generators import load_dataset
+from repro.registry import create_index, experiment_methods, spec_from_config
 
 QUICK = DEFAULT_CONFIG.quick()
 
@@ -22,17 +22,17 @@ QUICK = DEFAULT_CONFIG.quick()
 class TestMethodRegistry:
     def test_all_methods_buildable_on_tiny_dataset(self):
         graph = load_dataset("NY")
-        for name in method_names():
-            index = build_method(name, graph.copy(), QUICK)
+        for name in experiment_methods():
+            index = create_index(spec_from_config(name, QUICK), graph.copy())
             assert index.name == name
 
     def test_unknown_method(self):
         graph = load_dataset("NY")
         with pytest.raises(ValueError):
-            build_method("FancyIndex", graph, QUICK)
+            create_index("FancyIndex", graph)
 
     def test_quick_subset_is_subset(self):
-        assert set(method_names(quick=True)) <= set(method_names())
+        assert set(experiment_methods(quick=True)) <= set(experiment_methods())
 
 
 class TestTable1:

@@ -1,7 +1,5 @@
 """Tests for graph I/O, synthetic generators, update batches and validation."""
 
-import math
-
 import pytest
 
 from repro.exceptions import DisconnectedGraphError, GraphError

@@ -4,7 +4,6 @@ import pytest
 
 from repro.exceptions import PartitioningError
 from repro.graph.generators import grid_road_network, random_connected_graph
-from repro.graph.graph import Graph
 from repro.partitioning.base import Partitioning, partitioning_from_sets
 from repro.partitioning.bfs_grow import bfs_partition, refine_boundary
 from repro.partitioning.kdtree import kdtree_partition

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.algorithms.dijkstra import bidijkstra, dijkstra, dijkstra_distance
 from repro.graph.generators import grid_road_network, random_connected_graph
 from repro.graph.graph import Graph
-from repro.graph.updates import EdgeUpdate, UpdateBatch, generate_update_batch
+from repro.graph.updates import EdgeUpdate, generate_update_batch
 from repro.hierarchy.ch import CHIndex
 from repro.labeling.h2h import H2HIndex
 from repro.partitioning.bfs_grow import bfs_partition

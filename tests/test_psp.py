@@ -1,7 +1,5 @@
 """Unit tests for the PSP framework: overlay, no-boundary and post-boundary indexes."""
 
-import math
-
 import pytest
 
 from repro.algorithms.dijkstra import dijkstra_distance

@@ -191,6 +191,104 @@ class TestServingEngineBasics:
         assert "latency" in stats and "cache" in stats and "stages" in stats
 
 
+class TestServeBatch:
+    """The batch endpoint: one epoch, one routing decision, bulk cache."""
+
+    def _engine(self, cache_capacity=512):
+        graph = grid_road_network(7, 7, seed=7)
+        index = PostMHLIndex(graph, bandwidth=10, expected_partitions=4)
+        return graph, ServingEngine(
+            index, snapshot_limit=8, cache_capacity=cache_capacity
+        )
+
+    def test_batch_results_share_one_epoch_and_match_oracle(self):
+        graph, engine = self._engine()
+        pairs = list(sample_query_pairs(graph, 30, seed=5))
+        batches = generate_update_stream(graph, 3, volume=8, seed=3)
+        with engine:
+            for batch in batches:
+                engine.submit_batch(batch)
+                results = engine.serve_batch(pairs)
+                epochs = {result.epoch for result in results}
+                assert len(epochs) == 1, "a batch must be answered at a single epoch"
+                epoch = epochs.pop()
+                snapshot = engine.graph_at(epoch)
+                for result in results:
+                    oracle = dijkstra_distance(snapshot, result.source, result.target)
+                    assert abs(oracle - result.distance) <= 1e-9
+                engine.wait_for_maintenance()
+        assert engine.current_epoch == len(batches)
+
+    def test_single_stage_decision_per_batch(self):
+        graph, engine = self._engine()
+        pairs = list(sample_query_pairs(graph, 10, seed=6))
+        results = engine.serve_batch(pairs)
+        # No maintenance ran: the whole batch uses the fastest stage.
+        assert {result.stage for result in results} == {"CROSS_BOUNDARY"}
+        assert {result.epoch for result in results} == {0}
+
+    def test_bulk_cache_probe_and_fill(self):
+        graph, engine = self._engine()
+        pairs = list(sample_query_pairs(graph, 10, seed=6))
+        first = engine.serve_batch(pairs)
+        assert not any(result.from_cache for result in first)
+        second = engine.serve_batch(pairs)
+        assert all(result.from_cache for result in second)
+        assert {result.stage for result in second} == {"cache"}
+        assert [r.distance for r in second] == [r.distance for r in first]
+
+    def test_query_batch_matches_scalar_engine_queries(self):
+        graph, engine = self._engine(cache_capacity=0)
+        pairs = list(sample_query_pairs(graph, 15, seed=8))
+        distances = engine.query_batch(pairs)
+        assert distances == [engine.query(s, t) for s, t in pairs]
+
+    def test_batch_validation_and_empty(self):
+        _, engine = self._engine()
+        assert engine.serve_batch([]) == []
+        with pytest.raises(VertexNotFoundError):
+            engine.serve_batch([(0, 3), (0, 10_000)])
+        assert engine.metrics.queries_served == 0
+
+    def test_batch_is_shed_as_a_whole(self):
+        graph = grid_road_network(4, 4, seed=1)
+
+        class ShedAll(AlwaysAdmit):
+            def decide(self, inflight=0):
+                from repro.serving.admission import AdmissionDecision
+
+                return AdmissionDecision(False, "test", 0.0, 0.0)
+
+        engine = ServingEngine(BiDijkstraIndex(graph), admission=ShedAll())
+        with pytest.raises(QueryRejectedError):
+            engine.serve_batch([(0, 1), (2, 3)])
+        assert engine.metrics.queries_shed == 1
+
+    def test_batch_under_concurrent_maintenance_stays_consistent(self):
+        """Spam serve_batch while batches install; every answer must replay
+        against the Dijkstra oracle of the epoch it reports."""
+        graph, engine = self._engine()
+        pairs = list(sample_query_pairs(graph, 12, seed=9))
+        batches = generate_update_stream(graph, 3, volume=10, seed=5)
+        collected = []
+        with engine:
+            for batch in batches:
+                engine.submit_batch(batch)
+                for _ in range(10):
+                    collected.extend(engine.serve_batch(pairs))
+            engine.wait_for_maintenance()
+        mismatches = [
+            result
+            for result in collected
+            if abs(
+                dijkstra_distance(engine.graph_at(result.epoch), result.source, result.target)
+                - result.distance
+            )
+            > 1e-9
+        ]
+        assert mismatches == [], f"{len(mismatches)} stale/incorrect batch answers"
+
+
 class TestStageRouter:
     def test_multistage_validity_lifecycle(self):
         graph = grid_road_network(5, 5, seed=2)

@@ -1,12 +1,10 @@
 """Unit tests for the tree decomposition substrate (MDE, tree, LCA)."""
 
-import math
-
 import pytest
 
 from repro.algorithms.dijkstra import dijkstra_distance
 from repro.exceptions import GraphError
-from repro.graph.generators import grid_road_network, random_connected_graph
+from repro.graph.generators import grid_road_network
 from repro.graph.graph import Graph
 from repro.graph.updates import generate_update_batch
 from repro.treedec.mde import contract_graph, mde_order, update_shortcuts_bottom_up
