@@ -1,0 +1,150 @@
+"""Frozen-kernel benchmark: scalar + batch query latencies for all nine indexes.
+
+Measures, on the quick configuration (a seeded grid analog), the per-query
+latency of every registered method with the frozen kernels on versus the
+pure-Python reference path (``use_kernels=False``), for
+
+* the scalar ``query`` loop, and
+* the batch plane (``query_many`` over a pair batch),
+
+and writes the rows plus the derived speedups to ``BENCH_kernels.json`` —
+the machine-readable perf trajectory seeded by this benchmark and uploaded
+as a CI artifact.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--out BENCH_kernels.json]
+
+Equivalence (kernel results == reference results, bit-for-bit) is asserted
+on every method while measuring, so a speedup can never come from answering
+a different question.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict, List, Tuple
+
+from repro.graph.generators import grid_road_network
+from repro.kernels.native import native_kernel, native_kernel_error
+from repro.registry import create_index, get_spec
+from repro.throughput.workload import sample_query_pairs
+
+#: All nine methods on quick-config construction parameters.
+SPECS = {
+    "BiDijkstra": get_spec("BiDijkstra"),
+    "DCH": get_spec("DCH"),
+    "DH2H": get_spec("DH2H"),
+    "MHL": get_spec("MHL"),
+    "TOAIN": get_spec("TOAIN", checkin_fraction=0.25),
+    "N-CH-P": get_spec("N-CH-P", num_partitions=4, seed=0),
+    "P-TD-P": get_spec("P-TD-P", num_partitions=4, seed=0),
+    "PMHL": get_spec("PMHL", num_partitions=4, seed=0),
+    "PostMHL": get_spec("PostMHL", bandwidth=12, expected_partitions=4),
+}
+
+#: Methods whose labels freeze into the CSR LabelStore (the H2H family) —
+#: the acceptance bar (≥5x batch, ≥2x scalar for H2H/PMHL/PostMHL) applies
+#: to these.
+H2H_FAMILY = ("DH2H", "MHL", "PMHL", "PostMHL")
+
+GRID = 16
+SCALAR_QUERIES = 400
+BATCH_QUERIES = 4000
+#: The per-pair search baselines (index-free / CH searches) are orders of
+#: magnitude slower per query; smaller counts keep the run short.
+SLOW_METHODS = {"BiDijkstra": (150, 600), "DCH": (200, 800), "TOAIN": (200, 800),
+                "N-CH-P": (150, 600), "P-TD-P": (200, 800)}
+
+
+def _measure(index, pairs: List[Tuple[int, int]], scalar_n: int) -> Dict[str, object]:
+    scalar_pairs = pairs[:scalar_n]
+    # Warm-up freezes the stores outside the timed region (a freeze is paid
+    # once per update epoch, not per query).  The one-to-many warm-up group is
+    # large enough to trigger every batch-only store (e.g. TOAIN's hub table).
+    index.query(*pairs[0])
+    index.query_many(pairs[:4])
+    index.query_one_to_many(pairs[0][0], [t for _, t in pairs[:16]])
+
+    start = time.perf_counter()
+    scalar = [index.query(s, t) for s, t in scalar_pairs]
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = index.query_many(pairs)
+    batch_seconds = time.perf_counter() - start
+    return {
+        "scalar_seconds": scalar_seconds,
+        "scalar_us_per_query": 1e6 * scalar_seconds / len(scalar_pairs),
+        "batch_seconds": batch_seconds,
+        "batch_us_per_query": 1e6 * batch_seconds / len(pairs),
+        "_scalar_results": scalar,
+        "_batch_results": batch,
+    }
+
+
+def run(out_path: str) -> Dict[str, object]:
+    base = grid_road_network(GRID, GRID, seed=5)
+    report: Dict[str, object] = {
+        "benchmark": "frozen query kernels",
+        "graph": {"kind": "grid", "side": GRID, "vertices": base.num_vertices,
+                  "edges": base.num_edges},
+        "native_kernel": native_kernel() is not None,
+        "native_kernel_error": native_kernel_error(),
+        "python": platform.python_version(),
+        "methods": {},
+    }
+    for name, spec in SPECS.items():
+        scalar_n, batch_n = SLOW_METHODS.get(name, (SCALAR_QUERIES, BATCH_QUERIES))
+        pairs = list(sample_query_pairs(base, batch_n, seed=3))
+
+        fast = create_index(spec, base.copy())
+        build_seconds = fast.build()
+        kernels = _measure(fast, pairs, scalar_n)
+
+        reference = create_index(spec, base.copy(), use_kernels=False)
+        reference.build()
+        pure = _measure(reference, pairs, scalar_n)
+
+        # Both sides of each comparison use the same query plane (the kernel
+        # stores are literal ports), so equality is exact for every method —
+        # including BiDijkstra, whose documented ulp exception only concerns
+        # batch-vs-scalar *within* one configuration.
+        assert kernels["_scalar_results"] == pure["_scalar_results"], name
+        assert kernels["_batch_results"] == pure["_batch_results"], name
+        for row in (kernels, pure):
+            del row["_scalar_results"], row["_batch_results"]
+
+        entry = {
+            "build_seconds": build_seconds,
+            "kernels": kernels,
+            "reference": pure,
+            "scalar_speedup": pure["scalar_seconds"] / kernels["scalar_seconds"],
+            "batch_speedup": pure["batch_seconds"] / kernels["batch_seconds"],
+            "h2h_family": name in H2H_FAMILY,
+        }
+        report["methods"][name] = entry
+        print(
+            f"{name:>10}: scalar {entry['scalar_speedup']:5.1f}x "
+            f"({pure['scalar_us_per_query']:8.1f} -> {kernels['scalar_us_per_query']:7.1f} us)   "
+            f"batch {entry['batch_speedup']:5.1f}x "
+            f"({pure['batch_us_per_query']:8.1f} -> {kernels['batch_us_per_query']:7.1f} us)"
+        )
+
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {out_path}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_kernels.json",
+                        help="output JSON path (default: BENCH_kernels.json)")
+    args = parser.parse_args()
+    run(args.out)
+
+
+if __name__ == "__main__":
+    main()

@@ -15,12 +15,40 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import VertexNotFoundError
 from repro.graph.graph import Graph
 
 INF = math.inf
+
+
+def _dijkstra_settle(
+    graph: Graph, source: int, remaining: Optional[set]
+) -> Dict[int, float]:
+    """Core Dijkstra loop (no validation; ``remaining`` is consumed in place).
+
+    Shared by every one-to-many entry point so batch callers pay validation
+    and target-set construction once per source group, not once per call.
+    """
+    dist: Dict[int, float] = {source: 0.0}
+    settled: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in settled:
+            continue
+        settled[v] = d
+        if remaining is not None:
+            remaining.discard(v)
+            if not remaining:
+                break
+        for u, w in graph.neighbors(v).items():
+            nd = d + w
+            if nd < dist.get(u, INF):
+                dist[u] = nd
+                heapq.heappush(heap, (nd, u))
+    return settled
 
 
 def dijkstra(graph: Graph, source: int, targets: Optional[Iterable[int]] = None) -> Dict[int, float]:
@@ -45,24 +73,28 @@ def dijkstra(graph: Graph, source: int, targets: Optional[Iterable[int]] = None)
     if not graph.has_vertex(source):
         raise VertexNotFoundError(source)
     remaining = set(targets) if targets is not None else None
-    dist: Dict[int, float] = {source: 0.0}
-    settled: Dict[int, float] = {}
-    heap: List[Tuple[float, int]] = [(0.0, source)]
-    while heap:
-        d, v = heapq.heappop(heap)
-        if v in settled:
-            continue
-        settled[v] = d
-        if remaining is not None:
-            remaining.discard(v)
-            if not remaining:
-                break
-        for u, w in graph.neighbors(v).items():
-            nd = d + w
-            if nd < dist.get(u, INF):
-                dist[u] = nd
-                heapq.heappush(heap, (nd, u))
-    return settled
+    return _dijkstra_settle(graph, source, remaining)
+
+
+def dijkstra_one_to_many(
+    graph: Graph, source: int, targets: Sequence[int], validate: bool = True
+) -> List[float]:
+    """Distances from ``source`` to each target, in target order (``inf`` when
+    unreachable).
+
+    The batch-plane primitive: one truncated search for the whole target
+    group, with source/target validation hoisted out of the search (pass
+    ``validate=False`` when the caller has already checked membership, e.g.
+    a source-grouped ``query_many`` that validated the batch up front).
+    """
+    if validate:
+        if not graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        for target in targets:
+            if not graph.has_vertex(target):
+                raise VertexNotFoundError(target)
+    settled = _dijkstra_settle(graph, source, set(targets))
+    return [settled.get(target, INF) for target in targets]
 
 
 def dijkstra_distance(graph: Graph, source: int, target: int) -> float:
@@ -250,11 +282,14 @@ def all_pairs_boundary_distances(
     """
     boundary_list = sorted(set(boundary))
     result: Dict[Tuple[int, int], float] = {}
+    for b in boundary_list:  # validate the whole group once, not per search
+        if not graph.has_vertex(b):
+            raise VertexNotFoundError(b)
     for i, b in enumerate(boundary_list):
         others = boundary_list[i + 1 :]
         if not others:
             continue
-        settled = dijkstra(graph, b, targets=others)
+        settled = _dijkstra_settle(graph, b, set(others))
         for other in others:
             d = settled.get(other, INF)
             result[(b, other)] = d

@@ -15,6 +15,20 @@ N-CH-P, P-TD-P, TOAIN, PMHL, PostMHL): each exposes
 
 Sizes are reported as *entry counts* rather than bytes because pure-Python
 object overhead would otherwise dominate and hide the paper's size ordering.
+
+Frozen query kernels
+--------------------
+
+Every index additionally participates in the *frozen kernel* protocol (see
+``repro.kernels``): after a build or update batch completes, the query-side
+state can be frozen into flat-array stores that answer scalar and batch
+queries without walking dict-of-dict structures.  The base class owns the
+lifecycle — a per-index **kernel epoch** that update paths bump via
+:meth:`DistanceIndex.invalidate_kernels`, and a per-epoch memo
+(:meth:`DistanceIndex._kernel`) so each store is frozen at most once per
+epoch.  The ``use_kernels`` flag (default on, settable through the registry
+specs) switches an index between the frozen kernels and the pure-Python
+reference path; both return bit-identical distances.
 """
 
 from __future__ import annotations
@@ -29,6 +43,10 @@ from repro.graph.updates import UpdateBatch
 
 #: One ``(source, target)`` query pair of the batch query plane.
 QueryPair = Tuple[int, int]
+
+#: Sentinel distinguishing "not yet frozen" from a cached ``None`` (freeze
+#: unsupported for this structure — e.g. numpy unavailable).
+_UNFROZEN = object()
 
 
 @dataclass
@@ -84,6 +102,13 @@ class DistanceIndex(abc.ABC):
         self.build_seconds: float = 0.0
         self._built = False
         self._stage_listener: Optional[Callable[[StageTiming], None]] = None
+        #: Frozen-kernel switch: ``True`` answers queries through the flat
+        #: array stores of ``repro.kernels``; ``False`` keeps the pure-Python
+        #: reference path.  Results are bit-identical either way.
+        self.use_kernels: bool = True
+        self._kernel_epoch = 0
+        self._kernel_stores: Dict[str, object] = {}
+        self._graph_snapshot_cache = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -94,6 +119,7 @@ class DistanceIndex(abc.ABC):
             self._build()
         self.build_seconds = timer.seconds
         self._built = True
+        self.invalidate_kernels()
         return self.build_seconds
 
     @abc.abstractmethod
@@ -180,6 +206,59 @@ class DistanceIndex(abc.ABC):
         partition (PostMHL).
         """
         return None
+
+    # ------------------------------------------------------------------
+    # Frozen query kernels (see repro.kernels)
+    # ------------------------------------------------------------------
+    @property
+    def kernel_epoch(self) -> int:
+        """Monotonic counter of kernel invalidations (one per build/update)."""
+        return self._kernel_epoch
+
+    def invalidate_kernels(self) -> None:
+        """Drop every frozen store; the next query refreezes lazily.
+
+        Called by :meth:`build` and at the *start* of every ``apply_batch``
+        (before any structure is mutated), so no query can ever read a store
+        frozen from pre-update state.  The serving engine additionally calls
+        this when it opens a new epoch, keying freezes to its epoch counter.
+        """
+        self._kernel_epoch += 1
+        self._kernel_stores.clear()
+        self._graph_snapshot_cache = None
+
+    def _kernel(self, key: str, builder: Callable[[], object]):
+        """Per-epoch memo of one frozen store.
+
+        ``builder()`` runs at most once per kernel epoch per ``key``; a
+        ``None`` result (freeze unsupported — e.g. numpy unavailable) is
+        cached too so unsupported structures don't retry on every query.
+        Returns ``None`` whenever ``use_kernels`` is off.
+        """
+        if not self.use_kernels:
+            return None
+        entry = self._kernel_stores.get(key, _UNFROZEN)
+        if entry is _UNFROZEN:
+            entry = builder()
+            self._kernel_stores[key] = entry
+        return entry
+
+    def _graph_snapshot(self):
+        """CSR snapshot of the live graph for index-free searches.
+
+        Self-invalidating: keyed to ``graph.version`` rather than the kernel
+        epoch, so out-of-band graph mutation (e.g. a caller editing the graph
+        directly) can never be served from a stale snapshot.
+        """
+        if not self.use_kernels:
+            return None
+        snapshot = self._graph_snapshot_cache
+        if snapshot is None or not snapshot.is_fresh(self.graph):
+            from repro.kernels.graph_snapshot import GraphSnapshot
+
+            snapshot = GraphSnapshot.freeze(self.graph)
+            self._graph_snapshot_cache = snapshot
+        return snapshot
 
     # ------------------------------------------------------------------
     # Shared helpers

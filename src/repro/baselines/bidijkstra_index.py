@@ -24,7 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.algorithms.dijkstra import bidijkstra, dijkstra
+from repro.algorithms.dijkstra import bidijkstra, dijkstra_one_to_many
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import VertexNotFoundError
 from repro.graph.graph import Graph
@@ -43,6 +43,10 @@ class BiDijkstraIndex(DistanceIndex):
         """Nothing to build — the search runs directly on the live graph."""
 
     def query(self, source: int, target: int) -> float:
+        snapshot = self._graph_snapshot()
+        if snapshot is not None:
+            # CSR-frozen search; a literal port, bit-identical to the live one.
+            return snapshot.bidijkstra(source, target)
         if not self.graph.has_vertex(source):
             raise VertexNotFoundError(source)
         if not self.graph.has_vertex(target):
@@ -53,19 +57,20 @@ class BiDijkstraIndex(DistanceIndex):
         """One truncated Dijkstra instead of ``len(targets)`` bidirectional searches.
 
         The search stops as soon as the farthest pending target settles, so
-        the cost of the whole batch is a single (partial) graph sweep.
+        the cost of the whole batch is a single (partial) graph sweep — over
+        the frozen CSR snapshot when kernels are on.
         """
-        if not self.graph.has_vertex(source):
-            raise VertexNotFoundError(source)
         targets = list(targets)
-        for target in targets:
-            if not self.graph.has_vertex(target):
-                raise VertexNotFoundError(target)
-        settled = dijkstra(self.graph, source, targets=targets)
-        return [settled.get(target, INF) for target in targets]
+        snapshot = self._graph_snapshot()
+        if snapshot is not None:
+            return snapshot.one_to_many(source, targets)
+        return dijkstra_one_to_many(self.graph, source, targets)
 
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         report = UpdateReport()
+        # The CSR snapshot also self-invalidates via graph.version; the epoch
+        # bump keeps the kernel protocol uniform across indexes.
+        self.invalidate_kernels()
         with Timer() as timer:
             batch.apply(self.graph)
         self._emit_stage(report, StageTiming("edge_update", timer.seconds))

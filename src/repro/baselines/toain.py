@@ -32,6 +32,8 @@ from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
 from repro.hierarchy.ch import ch_bidirectional_query
+from repro.kernels.hub_store import HubStore
+from repro.kernels.shortcut_store import ShortcutStore
 from repro.registry import IndexSpec, register_spec
 from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
 
@@ -101,6 +103,32 @@ class TOAINIndex(DistanceIndex):
         return self.contraction
 
     # ------------------------------------------------------------------
+    # Frozen stores
+    # ------------------------------------------------------------------
+    def _sub_core_store(self):
+        """Frozen sub-core upward adjacency (``None`` = pure path)."""
+        contraction = self._require_built()
+        return self._kernel(
+            "sub_core",
+            lambda: ShortcutStore.freeze(
+                self._sub_core_upward(), contraction.order
+            ),
+        )
+
+    def _hub_store(self):
+        """Frozen CSR hub-label table (``None`` = pure path / no numpy)."""
+        contraction = self._require_built()
+
+        def freeze():
+            rank = contraction.rank
+            threshold = self.core_rank_threshold
+            core = [v for v in contraction.order if rank[v] >= threshold]
+            slots = {v: i for i, v in enumerate(core)}
+            return HubStore.freeze(self.core_labels, slots)
+
+        return self._kernel("hubs", freeze)
+
+    # ------------------------------------------------------------------
     def query(self, source: int, target: int) -> float:
         """Point-to-point query.
 
@@ -124,18 +152,23 @@ class TOAINIndex(DistanceIndex):
             if d_t is not None and d_s + d_t < best:
                 best = d_s + d_t
 
-        below = ch_bidirectional_query(source, target, self._sub_core_upward())
+        store = self._sub_core_store()
+        if store is not None:
+            below = store.query(source, target)
+        else:
+            below = ch_bidirectional_query(source, target, self._sub_core_upward())
         return min(best, below)
 
     def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
-        """Batched queries sharing the source's hub labels and a memoised
-        sub-core adjacency.
+        """Batched queries: vectorized hub join + frozen sub-core searches.
 
-        The materialised label set of the source is fetched once and joined
-        against every target; the filtered sub-core upward neighbourhoods the
-        per-pair CH searches touch are computed once per vertex for the whole
-        batch.  Per-pair arithmetic matches :meth:`query` exactly, so results
-        are bit-identical to the scalar path.
+        With kernels on, the core-zone join for the whole batch is a single
+        :meth:`~repro.kernels.hub_store.HubStore.join_one_to_many` (the
+        source's labels are scattered into a dense vector once), and the
+        per-pair sub-core searches run over the frozen shortcut arrays.  The
+        join minimum is order-independent and every candidate is the same
+        ``float64`` sum the scalar path computes, so results are bit-identical
+        to :meth:`query`; the pure reference keeps the dict-based loop.
         """
         contraction = self._require_built()
         if source not in contraction.rank:
@@ -144,6 +177,34 @@ class TOAINIndex(DistanceIndex):
         for target in targets:
             if target not in contraction.rank:
                 raise VertexNotFoundError(target)
+
+        # The dense-vector join only pays off once the batch amortises the
+        # scatter; tiny source groups stay on the (bit-identical) dict join.
+        hub_store = self._hub_store() if len(targets) >= 8 else None
+        sub_core_store = self._sub_core_store()
+        if hub_store is not None and sub_core_store is not None:
+            joined = hub_store.join_one_to_many(source, targets)
+            return [
+                0.0 if source == target
+                else min(best, sub_core_store.query(source, target))
+                for target, best in zip(targets, joined)
+            ]
+        if sub_core_store is not None:
+            labels_s = self.core_labels[source]
+            results: List[float] = []
+            for target in targets:
+                if source == target:
+                    results.append(0.0)
+                    continue
+                labels_t = self.core_labels[target]
+                best = INF
+                for hub, d_s in labels_s.items():
+                    d_t = labels_t.get(hub)
+                    if d_t is not None and d_s + d_t < best:
+                        best = d_s + d_t
+                results.append(min(best, sub_core_store.query(source, target)))
+            return results
+
         labels_s = self.core_labels[source]
         sub_core_upward = self._sub_core_upward(memo={})
         results: List[float] = []
@@ -198,6 +259,7 @@ class TOAINIndex(DistanceIndex):
         """
         contraction = self._require_built()
         report = UpdateReport()
+        self.invalidate_kernels()
 
         with Timer() as timer:
             batch.apply(self.graph)

@@ -34,6 +34,8 @@ from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
 from repro.hierarchy.ch import ch_bidirectional_query
+from repro.kernels.label_store import LabelStore
+from repro.kernels.shortcut_store import ShortcutStore
 from repro.labeling.h2h import H2HLabels
 from repro.partitioning.base import Partitioning
 from repro.partitioning.natural_cut import natural_cut_partition
@@ -141,15 +143,84 @@ class PMHLIndex(DistanceIndex):
             raise IndexNotBuiltError("PMHL index has not been built")
 
     # ------------------------------------------------------------------
+    # Frozen stores (one per query stage; see repro.kernels)
+    #
+    # Each store reads only structures that are *final* by the time the
+    # serving engine releases its query stage — family/overlay labels after
+    # U-Stage 3, extended labels after U-Stage 4, cross labels after U-Stage
+    # 5 — so a store frozen in a mid-batch grace window stays valid for the
+    # rest of the epoch.
+    # ------------------------------------------------------------------
+    def _cross_store(self):
+        return self._kernel(
+            "cross_labels", lambda: LabelStore.freeze(self.cross_labels)
+        )
+
+    def _pch_store(self):
+        def freeze():
+            boundary = self.partitioning.all_boundary()
+            partition_of = self.partitioning.partition_of
+            overlay_shortcuts = self.overlay.contraction.shortcuts
+            contractions = self.family.contractions
+
+            def upward(v: int) -> Dict[int, float]:
+                if v in boundary:
+                    return overlay_shortcuts[v]
+                return contractions[partition_of(v)].shortcuts[v]
+
+            return ShortcutStore.freeze(upward, self.order)
+
+        return self._kernel("pch", freeze)
+
+    def _overlay_store(self):
+        return self._kernel(
+            "overlay_labels", lambda: LabelStore.freeze(self.overlay.labels)
+        )
+
+    def _family_store(self, family: PartitionIndexFamily, tag: str, pid: int):
+        return self._kernel(
+            f"{tag}_labels_{pid}", lambda: LabelStore.freeze(family.labels[pid])
+        )
+
+    def _overlay_distance(self, b1: int, b2: int) -> float:
+        store = self._overlay_store()
+        if store is not None and store.query_fn is not None:
+            return store.query_fn(b1, b2)
+        return self.overlay.query(b1, b2)
+
+    def _family_distance(
+        self, family: PartitionIndexFamily, tag: str, pid: int, source: int, target: int
+    ) -> float:
+        store = self._family_store(family, tag, pid)
+        if store is not None and store.query_fn is not None:
+            return store.query_fn(source, target)
+        return family.query(pid, source, target)
+
+    def _family_to_boundary(
+        self, family: PartitionIndexFamily, tag: str, pid: int, vertex: int
+    ) -> Dict[int, float]:
+        store = self._family_store(family, tag, pid)
+        if store is not None:
+            boundary = sorted(self.partitioning.boundary(pid))
+            return dict(zip(boundary, store.one_to_many(vertex, boundary)))
+        return family.distances_to_boundary(pid, vertex)
+
+    # ------------------------------------------------------------------
     # Query processing (Q-Stages 1-5)
     # ------------------------------------------------------------------
     def query_bidijkstra(self, source: int, target: int) -> float:
         """Q-Stage 1: index-free bidirectional Dijkstra on the live graph."""
+        snapshot = self._graph_snapshot()
+        if snapshot is not None:
+            return snapshot.bidijkstra(source, target)
         return bidijkstra(self.graph, source, target)
 
     def query_pch(self, source: int, target: int) -> float:
         """Q-Stage 2: partitioned CH query over the union of shortcut arrays."""
         self._require_built()
+        store = self._pch_store()
+        if store is not None:
+            return store.query(source, target)
         boundary = self.partitioning.all_boundary()
 
         def upward(v: int) -> Dict[int, float]:
@@ -172,6 +243,9 @@ class PMHLIndex(DistanceIndex):
     def query_cross_boundary(self, source: int, target: int) -> float:
         """Q-Stage 5: cross-boundary 2-hop query on L* (fastest)."""
         self._require_built()
+        store = self._cross_store()
+        if store is not None and store.query_fn is not None:
+            return store.query_fn(source, target)
         return self.cross_labels.query(source, target)
 
     def query(self, source: int, target: int) -> float:
@@ -186,19 +260,31 @@ class PMHLIndex(DistanceIndex):
     def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
         """Amortised batch query on the cross-boundary labels ``L*``.
 
-        The source's label array is fetched once and intersected against
-        every target (the 2-hop arithmetic is exactly the scalar path's, so
-        distances are bit-identical); ``query_many`` groups arbitrary pair
-        batches by source on top of this.
+        With kernels on, the whole batch is answered by the frozen store's
+        one-to-many kernel (native hub scan or one vectorized reduction);
+        the pure reference fetches the source's label array once and
+        intersects it against every target.  The 2-hop arithmetic is exactly
+        the scalar path's either way, so distances are bit-identical.
         """
         self._require_built()
+        targets = list(targets)
+        store = self._cross_store()
+        if store is not None:
+            return store.one_to_many(source, targets)
         if not self.graph.has_vertex(source):
             raise VertexNotFoundError(source)
-        targets = list(targets)
         for target in targets:
             if not self.graph.has_vertex(target):
                 raise VertexNotFoundError(target)
         return self.cross_labels.query_one_to_many(source, targets)
+
+    def query_many(self, pairs) -> List[float]:
+        """Vectorized pair-batch kernel on ``L*`` (no source grouping needed)."""
+        self._require_built()
+        store = self._cross_store()
+        if store is not None:
+            return store.query_pairs(list(pairs))
+        return super().query_many(pairs)
 
     def query_at_stage(self, source: int, target: int, stage: PMHLQueryStage) -> float:
         """Dispatch a query to the requested stage's algorithm."""
@@ -219,9 +305,15 @@ class PMHLIndex(DistanceIndex):
         family: PartitionIndexFamily,
         same_partition_direct: bool,
     ) -> float:
-        """Shared no-/post-boundary query logic (Section III-C query cases)."""
+        """Shared no-/post-boundary query logic (Section III-C query cases).
+
+        Distance fetches route through the kernel-aware helpers (frozen
+        per-partition / overlay label stores) when ``use_kernels`` is on;
+        the case analysis itself is identical either way.
+        """
         if source == target:
             return 0.0
+        tag = "extended" if family is self.extended_family else "family"
         partitioning = self.partitioning
         pid_s = partitioning.partition_of(source)
         pid_t = partitioning.partition_of(target)
@@ -230,52 +322,57 @@ class PMHLIndex(DistanceIndex):
         target_is_boundary = target in boundary
 
         if pid_s == pid_t:
-            local = family.query(pid_s, source, target)
+            local = self._family_distance(family, tag, pid_s, source, target)
             if same_partition_direct:
                 return local
             best = local
-            source_to_boundary = family.distances_to_boundary(pid_s, source)
-            target_to_boundary = family.distances_to_boundary(pid_s, target)
+            source_to_boundary = self._family_to_boundary(family, tag, pid_s, source)
+            target_to_boundary = self._family_to_boundary(family, tag, pid_s, target)
             for bp, d_s in source_to_boundary.items():
                 if d_s == INF:
                     continue
                 for bq, d_t in target_to_boundary.items():
                     if d_t == INF:
                         continue
-                    candidate = d_s + self.overlay.query(bp, bq) + d_t
+                    candidate = d_s + self._overlay_distance(bp, bq) + d_t
                     if candidate < best:
                         best = candidate
             return best
 
         if source_is_boundary and target_is_boundary:
-            return self.overlay.query(source, target)
+            return self._overlay_distance(source, target)
         if source_is_boundary:
-            return self._psp_boundary_to_inner(source, pid_t, target, family)
+            return self._psp_boundary_to_inner(source, pid_t, target, family, tag)
         if target_is_boundary:
-            return self._psp_boundary_to_inner(target, pid_s, source, family)
+            return self._psp_boundary_to_inner(target, pid_s, source, family, tag)
 
         best = INF
-        source_to_boundary = family.distances_to_boundary(pid_s, source)
-        target_to_boundary = family.distances_to_boundary(pid_t, target)
+        source_to_boundary = self._family_to_boundary(family, tag, pid_s, source)
+        target_to_boundary = self._family_to_boundary(family, tag, pid_t, target)
         for bp, d_s in source_to_boundary.items():
             if d_s == INF:
                 continue
             for bq, d_t in target_to_boundary.items():
                 if d_t == INF:
                     continue
-                candidate = d_s + self.overlay.query(bp, bq) + d_t
+                candidate = d_s + self._overlay_distance(bp, bq) + d_t
                 if candidate < best:
                     best = candidate
         return best
 
     def _psp_boundary_to_inner(
-        self, boundary_vertex: int, pid: int, inner: int, family: PartitionIndexFamily
+        self,
+        boundary_vertex: int,
+        pid: int,
+        inner: int,
+        family: PartitionIndexFamily,
+        tag: str,
     ) -> float:
         best = INF
-        for bq, d_t in family.distances_to_boundary(pid, inner).items():
+        for bq, d_t in self._family_to_boundary(family, tag, pid, inner).items():
             if d_t == INF:
                 continue
-            candidate = self.overlay.query(boundary_vertex, bq) + d_t
+            candidate = self._overlay_distance(boundary_vertex, bq) + d_t
             if candidate < best:
                 best = candidate
         return best
@@ -287,6 +384,9 @@ class PMHLIndex(DistanceIndex):
         self._require_built()
         report = UpdateReport()
         partitioning = self.partitioning
+        # Before any structure mutates: stage queries released mid-batch
+        # refreeze from the new epoch's structures, never a pre-update store.
+        self.invalidate_kernels()
 
         # U-Stage 1: on-spot edge update.
         with Timer() as timer:

@@ -33,6 +33,8 @@ from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
 from repro.hierarchy.ch import ch_bidirectional_query
+from repro.kernels.label_store import LabelStore
+from repro.kernels.shortcut_store import ShortcutStore
 from repro.labeling.h2h import H2HLabels
 from repro.partitioning.td_partition import TDPartitioning, td_partition
 from repro.registry import IndexSpec, register_spec
@@ -139,15 +141,41 @@ class PostMHLIndex(DistanceIndex):
             raise IndexNotBuiltError("PostMHL index has not been built")
 
     # ------------------------------------------------------------------
+    # Frozen stores (see repro.kernels)
+    #
+    # The amalgamated label store is only frozen for the *fastest* stage
+    # (released after U-Stage 5, when every ``dis`` entry is final); the
+    # post-boundary stage keeps the pure path because mid-batch its overlay
+    # label reads would otherwise share a store with stale in-partition
+    # entries.
+    # ------------------------------------------------------------------
+    def _label_store(self):
+        return self._kernel("labels", lambda: LabelStore.freeze(self.labels))
+
+    def _pch_store(self):
+        return self._kernel(
+            "pch",
+            lambda: ShortcutStore.freeze(
+                lambda v: self.contraction.shortcuts[v], self.contraction.order
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # Query processing (Q-Stages 1-4)
     # ------------------------------------------------------------------
     def query_bidijkstra(self, source: int, target: int) -> float:
         """Q-Stage 1: index-free bidirectional Dijkstra on the live graph."""
+        snapshot = self._graph_snapshot()
+        if snapshot is not None:
+            return snapshot.bidijkstra(source, target)
         return bidijkstra(self.graph, source, target)
 
     def query_pch(self, source: int, target: int) -> float:
         """Q-Stage 2: partitioned CH query over the shared shortcut arrays."""
         self._require_built()
+        store = self._pch_store()
+        if store is not None:
+            return store.query(source, target)
         return ch_bidirectional_query(
             source, target, lambda v: self.contraction.shortcuts[v]
         )
@@ -173,6 +201,9 @@ class PostMHLIndex(DistanceIndex):
     def query_cross_boundary(self, source: int, target: int) -> float:
         """Q-Stage 4: full H2H query on the amalgamated tree (fastest)."""
         self._require_built()
+        store = self._label_store()
+        if store is not None and store.query_fn is not None:
+            return store.query_fn(source, target)
         return self.labels.query(source, target)
 
     def query(self, source: int, target: int) -> float:
@@ -187,19 +218,31 @@ class PostMHLIndex(DistanceIndex):
     def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
         """Amortised batch query on the amalgamated H2H labels.
 
-        The source's distance array is fetched once and intersected against
-        every target with exactly the scalar path's 2-hop arithmetic, so
-        distances are bit-identical; ``query_many`` groups arbitrary pair
-        batches by source on top of this.
+        With kernels on, the whole batch runs through the frozen store's
+        one-to-many kernel; the pure reference fetches the source's distance
+        array once and intersects it against every target.  The 2-hop
+        arithmetic is exactly the scalar path's either way, so distances are
+        bit-identical.
         """
         self._require_built()
+        targets = list(targets)
+        store = self._label_store()
+        if store is not None:
+            return store.one_to_many(source, targets)
         if not self.graph.has_vertex(source):
             raise VertexNotFoundError(source)
-        targets = list(targets)
         for target in targets:
             if not self.graph.has_vertex(target):
                 raise VertexNotFoundError(target)
         return self.labels.query_one_to_many(source, targets)
+
+    def query_many(self, pairs) -> List[float]:
+        """Vectorized pair-batch kernel on the amalgamated labels."""
+        self._require_built()
+        store = self._label_store()
+        if store is not None:
+            return store.query_pairs(list(pairs))
+        return super().query_many(pairs)
 
     def query_at_stage(self, source: int, target: int, stage: PostMHLQueryStage) -> float:
         """Dispatch a query to the requested stage's algorithm."""
@@ -269,6 +312,8 @@ class PostMHLIndex(DistanceIndex):
         report = UpdateReport()
         tree = self.tree
         td = self.td
+        # Before any structure mutates (kernel staleness protocol).
+        self.invalidate_kernels()
 
         # U-Stage 1: on-spot edge update.
         with Timer() as timer:

@@ -57,7 +57,7 @@ class Graph:
     and notes the techniques extend to directed graphs.
     """
 
-    __slots__ = ("_adj", "_coords", "_num_edges")
+    __slots__ = ("_adj", "_coords", "_num_edges", "_version")
 
     def __init__(self, num_vertices: int = 0):
         if num_vertices < 0:
@@ -65,6 +65,7 @@ class Graph:
         self._adj: Dict[int, Dict[int, float]] = {v: {} for v in range(num_vertices)}
         self._coords: Dict[int, Tuple[float, float]] = {}
         self._num_edges = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -78,6 +79,15 @@ class Graph:
     def num_edges(self) -> int:
         """Number of undirected edges currently in the graph."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every structural/weight change).
+
+        Frozen snapshots (``repro.kernels.GraphSnapshot``) record the version
+        at freeze time so staleness is detectable in O(1).
+        """
+        return self._version
 
     def vertices(self) -> Iterator[int]:
         """Iterate over all vertex ids."""
@@ -121,6 +131,7 @@ class Graph:
             raise GraphError(f"vertex ids must be non-negative, got {v}")
         if v not in self._adj:
             self._adj[v] = {}
+            self._version += 1
 
     def add_edge(self, u: int, v: int, weight: float) -> None:
         """Add the undirected edge ``(u, v)`` with the given weight.
@@ -138,10 +149,12 @@ class Graph:
             if value < self._adj[u][v]:
                 self._adj[u][v] = value
                 self._adj[v][u] = value
+                self._version += 1
         else:
             self._adj[u][v] = value
             self._adj[v][u] = value
             self._num_edges += 1
+            self._version += 1
 
     def set_edge_weight(self, u: int, v: int, weight: float) -> None:
         """Overwrite the weight of an existing edge ``(u, v)``."""
@@ -150,6 +163,7 @@ class Graph:
             raise EdgeNotFoundError(u, v)
         self._adj[u][v] = value
         self._adj[v][u] = value
+        self._version += 1
 
     def edge_weight(self, u: int, v: int) -> float:
         """Return the weight of edge ``(u, v)``; raise if it does not exist."""
@@ -170,6 +184,7 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, v: int) -> None:
         """Remove vertex ``v`` and all incident edges."""
@@ -178,6 +193,7 @@ class Graph:
             self.remove_edge(v, nbr)
         del self._adj[v]
         self._coords.pop(v, None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Coordinates (used by coordinate-based partitioning and A*)
@@ -226,6 +242,31 @@ class Graph:
                 if u in keep and v < u:
                     g.add_edge(v, u, w)
         return g
+
+    # ------------------------------------------------------------------
+    # Frozen export
+    # ------------------------------------------------------------------
+    def to_csr(self) -> Tuple[List[int], List[int], List[int], List[float]]:
+        """Export the adjacency in CSR form: ``(ids, indptr, indices, weights)``.
+
+        ``ids`` lists the vertices in adjacency-iteration order; ``indices``
+        holds *positions into* ``ids`` (not vertex ids).  Row contents
+        preserve the neighbour-dict iteration order, so searches over the
+        CSR relax edges in exactly the order the live graph would — the
+        property the frozen-kernel equivalence guarantees rest on.
+        """
+        ids = list(self._adj)
+        position = {v: i for i, v in enumerate(ids)}
+        indptr = [0] * (len(ids) + 1)
+        indices: List[int] = []
+        weights: List[float] = []
+        for i, v in enumerate(ids):
+            nbrs = self._adj[v]
+            for u, w in nbrs.items():
+                indices.append(position[u])
+                weights.append(w)
+            indptr[i + 1] = indptr[i] + len(nbrs)
+        return ids, indptr, indices, weights
 
     # ------------------------------------------------------------------
     # Connectivity helpers

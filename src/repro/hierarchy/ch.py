@@ -24,6 +24,7 @@ from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
+from repro.kernels.shortcut_store import ShortcutStore
 from repro.registry import IndexSpec, register_spec
 from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
 
@@ -133,12 +134,25 @@ class CHIndex(DistanceIndex):
         """Upward (higher-rank) shortcut neighbours of ``v``."""
         return self._require_built().shortcuts[v]
 
+    def _shortcut_store(self):
+        """Frozen upward adjacency of this epoch (``None`` = pure path)."""
+        contraction = self._require_built()
+        return self._kernel(
+            "ch",
+            lambda: ShortcutStore.freeze(
+                lambda v: contraction.shortcuts[v], contraction.order
+            ),
+        )
+
     def query(self, source: int, target: int) -> float:
         contraction = self._require_built()
         if source not in contraction.rank:
             raise VertexNotFoundError(source)
         if target not in contraction.rank:
             raise VertexNotFoundError(target)
+        store = self._shortcut_store()
+        if store is not None:
+            return store.query(source, target)
         return ch_bidirectional_query(source, target, self.upward_neighbors)
 
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
@@ -169,6 +183,7 @@ class DCHIndex(CHIndex):
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         contraction = self._require_built()
         report = UpdateReport()
+        self.invalidate_kernels()
 
         with Timer() as timer:
             batch.apply(self.graph)

@@ -1,0 +1,37 @@
+"""Frozen query kernels: flat-array stores for the hot query paths.
+
+After a build or update batch completes, each index *freezes* its query-side
+state into immutable flat stores (see the per-module docs):
+
+* :class:`~repro.kernels.label_store.LabelStore` — CSR distance/position
+  arrays + flattened LCA for H2H-family labels, with a native (C) scalar
+  backend and a vectorized numpy batch backend;
+* :class:`~repro.kernels.graph_snapshot.GraphSnapshot` — CSR adjacency for
+  the index-free stage-1 searches;
+* :class:`~repro.kernels.shortcut_store.ShortcutStore` — materialised upward
+  adjacency for CH-style bidirectional searches;
+* :class:`~repro.kernels.hub_store.HubStore` — flattened hub-label table for
+  TOAIN's check-in join.
+
+Freezing is lazy (first query after an invalidation) and keyed to the
+index's kernel epoch (see ``repro.base.DistanceIndex.invalidate_kernels``),
+so a store is built at most once per update epoch per query stage.  Every
+store computes exactly the reference arithmetic; results are bit-identical
+to the pure-Python paths, which remain in place as the reference
+implementation (``use_kernels=False``).
+"""
+
+from repro.kernels.graph_snapshot import GraphSnapshot
+from repro.kernels.hub_store import HubStore
+from repro.kernels.label_store import LabelStore
+from repro.kernels.native import native_kernel, native_kernel_error
+from repro.kernels.shortcut_store import ShortcutStore
+
+__all__ = [
+    "GraphSnapshot",
+    "HubStore",
+    "LabelStore",
+    "ShortcutStore",
+    "native_kernel",
+    "native_kernel_error",
+]

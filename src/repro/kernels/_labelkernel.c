@@ -1,0 +1,301 @@
+/* Native hub-scan kernel for frozen H2H-family label stores.
+ *
+ * The store is an immutable CSR snapshot of one H2HLabels instance plus the
+ * Euler-tour LCA arrays of its tree decomposition:
+ *
+ *   comp[r]        component id of row r (forest support),
+ *   first[r]       first Euler-tour position of row r,
+ *   logs[i]        floor(log2(i)) lookup for the sparse-table RMQ,
+ *   tbl_flat/off   sparse-table levels, entries packed as depth<<shift|row
+ *                  so the range-minimum over depths is an integer minimum,
+ *   pos_indptr/..  CSR of the per-node hub positions X(v).pos,
+ *   dis_indptr/..  CSR of the per-row distance arrays X(v).dis.
+ *
+ * query(rs, rt) performs exactly the reference Python arithmetic — LCA via
+ * RMQ, then min over i in pos[lca] of dis_s[i] + dis_t[i] — so results are
+ * bit-identical to H2HLabels.query.  one_to_many/pairs loop the same body in
+ * C, writing into a caller-provided float64 buffer.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <string.h>
+
+static const char *CAPSULE_NAME = "repro.kernels.labelstore";
+
+typedef struct {
+    int64_t n;
+    int64_t mask;
+    int64_t *comp;
+    int64_t *first;
+    int64_t *logs;
+    int64_t *tbl_flat;
+    int64_t *tbl_off;
+    int64_t *pos_indptr;
+    int64_t *pos_data;
+    int64_t *dis_indptr;
+    double *dis_data;
+} LabelStore;
+
+static void store_destructor(PyObject *capsule) {
+    LabelStore *st = (LabelStore *)PyCapsule_GetPointer(capsule, CAPSULE_NAME);
+    if (st != NULL) {
+        free(st->comp);
+        free(st->first);
+        free(st->logs);
+        free(st->tbl_flat);
+        free(st->tbl_off);
+        free(st->pos_indptr);
+        free(st->pos_data);
+        free(st->dis_indptr);
+        free(st->dis_data);
+        free(st);
+    }
+}
+
+/* Copy a C-contiguous buffer of 8-byte items into malloc'd memory. */
+static int copy_buffer(PyObject *obj, void **out, Py_ssize_t *count) {
+    Py_buffer view;
+    if (PyObject_GetBuffer(obj, &view, PyBUF_C_CONTIGUOUS) < 0) {
+        return -1;
+    }
+    if (view.itemsize != 8) {
+        PyBuffer_Release(&view);
+        PyErr_SetString(PyExc_TypeError, "label-store buffers must have 8-byte items");
+        return -1;
+    }
+    void *mem = malloc(view.len > 0 ? (size_t)view.len : 1);
+    if (mem == NULL) {
+        PyBuffer_Release(&view);
+        PyErr_NoMemory();
+        return -1;
+    }
+    memcpy(mem, view.buf, (size_t)view.len);
+    *out = mem;
+    *count = view.len / view.itemsize;
+    PyBuffer_Release(&view);
+    return 0;
+}
+
+static PyObject *build(PyObject *self, PyObject *args) {
+    PyObject *comp, *first, *logs, *tbl_flat, *tbl_off;
+    PyObject *pos_indptr, *pos_data, *dis_indptr, *dis_data;
+    long long mask;
+    if (!PyArg_ParseTuple(args, "LOOOOOOOOO", &mask, &comp, &first, &logs,
+                          &tbl_flat, &tbl_off, &pos_indptr, &pos_data,
+                          &dis_indptr, &dis_data)) {
+        return NULL;
+    }
+    LabelStore *st = (LabelStore *)calloc(1, sizeof(LabelStore));
+    if (st == NULL) {
+        return PyErr_NoMemory();
+    }
+    st->mask = (int64_t)mask;
+    Py_ssize_t count;
+    if (copy_buffer(comp, (void **)&st->comp, &count) < 0) goto fail;
+    st->n = count;
+    if (copy_buffer(first, (void **)&st->first, &count) < 0) goto fail;
+    if (copy_buffer(logs, (void **)&st->logs, &count) < 0) goto fail;
+    if (copy_buffer(tbl_flat, (void **)&st->tbl_flat, &count) < 0) goto fail;
+    if (copy_buffer(tbl_off, (void **)&st->tbl_off, &count) < 0) goto fail;
+    if (copy_buffer(pos_indptr, (void **)&st->pos_indptr, &count) < 0) goto fail;
+    if (copy_buffer(pos_data, (void **)&st->pos_data, &count) < 0) goto fail;
+    if (copy_buffer(dis_indptr, (void **)&st->dis_indptr, &count) < 0) goto fail;
+    if (copy_buffer(dis_data, (void **)&st->dis_data, &count) < 0) goto fail;
+    return PyCapsule_New(st, CAPSULE_NAME, store_destructor);
+fail:
+    free(st->comp);
+    free(st->first);
+    free(st->logs);
+    free(st->tbl_flat);
+    free(st->tbl_off);
+    free(st->pos_indptr);
+    free(st->pos_data);
+    free(st->dis_indptr);
+    free(st->dis_data);
+    free(st);
+    return NULL;
+}
+
+/* The shared query body: assumes 0 <= rs, rt < n and rs != rt. */
+static inline double query_rows(const LabelStore *st, int64_t rs, int64_t rt) {
+    if (st->comp[rs] != st->comp[rt]) {
+        return Py_HUGE_VAL;
+    }
+    int64_t fs = st->first[rs];
+    int64_t ft = st->first[rt];
+    if (fs > ft) {
+        int64_t tmp = fs;
+        fs = ft;
+        ft = tmp;
+    }
+    int64_t k = st->logs[ft - fs + 1];
+    const int64_t *rowk = st->tbl_flat + st->tbl_off[k];
+    int64_t a = rowk[fs];
+    int64_t b = rowk[ft - ((int64_t)1 << k) + 1];
+    if (b < a) {
+        a = b;
+    }
+    int64_t lca_row = a & st->mask;
+    const double *ds = st->dis_data + st->dis_indptr[rs];
+    const double *dt = st->dis_data + st->dis_indptr[rt];
+    const int64_t *p = st->pos_data + st->pos_indptr[lca_row];
+    const int64_t *pe = st->pos_data + st->pos_indptr[lca_row + 1];
+    double best = Py_HUGE_VAL;
+    for (; p < pe; p++) {
+        double c = ds[*p] + dt[*p];
+        if (c < best) {
+            best = c;
+        }
+    }
+    return best;
+}
+
+static LabelStore *store_from_arg(PyObject *arg) {
+    return (LabelStore *)PyCapsule_GetPointer(arg, CAPSULE_NAME);
+}
+
+static PyObject *query(PyObject *self, PyObject *const *args, Py_ssize_t nargs) {
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError, "query(store, rs, rt) takes 3 arguments");
+        return NULL;
+    }
+    LabelStore *st = store_from_arg(args[0]);
+    if (st == NULL) {
+        return NULL;
+    }
+    long rs = PyLong_AsLong(args[1]);
+    long rt = PyLong_AsLong(args[2]);
+    if ((rs == -1 || rt == -1) && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (rs < 0 || rs >= st->n || rt < 0 || rt >= st->n) {
+        PyErr_SetString(PyExc_IndexError, "label-store row out of range");
+        return NULL;
+    }
+    if (rs == rt) {
+        return PyFloat_FromDouble(0.0);
+    }
+    return PyFloat_FromDouble(query_rows(st, rs, rt));
+}
+
+/* one_to_many(store, rs, t_rows_int64_buffer, out_float64_buffer) */
+static PyObject *one_to_many(PyObject *self, PyObject *const *args, Py_ssize_t nargs) {
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError, "one_to_many(store, rs, t_rows, out) takes 4 arguments");
+        return NULL;
+    }
+    LabelStore *st = store_from_arg(args[0]);
+    if (st == NULL) {
+        return NULL;
+    }
+    long rs = PyLong_AsLong(args[1]);
+    if (rs == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (rs < 0 || rs >= st->n) {
+        PyErr_SetString(PyExc_IndexError, "label-store row out of range");
+        return NULL;
+    }
+    Py_buffer t_view, out_view;
+    if (PyObject_GetBuffer(args[2], &t_view, PyBUF_C_CONTIGUOUS) < 0) {
+        return NULL;
+    }
+    if (PyObject_GetBuffer(args[3], &out_view, PyBUF_C_CONTIGUOUS | PyBUF_WRITABLE) < 0) {
+        PyBuffer_Release(&t_view);
+        return NULL;
+    }
+    if (t_view.itemsize != 8 || out_view.itemsize != 8 || t_view.len != out_view.len) {
+        PyBuffer_Release(&t_view);
+        PyBuffer_Release(&out_view);
+        PyErr_SetString(PyExc_TypeError, "t_rows/out must be matching 8-byte buffers");
+        return NULL;
+    }
+    const int64_t *t_rows = (const int64_t *)t_view.buf;
+    double *out = (double *)out_view.buf;
+    Py_ssize_t m = t_view.len / 8;
+    for (Py_ssize_t i = 0; i < m; i++) {
+        int64_t rt = t_rows[i];
+        if (rt < 0 || rt >= st->n) {
+            PyBuffer_Release(&t_view);
+            PyBuffer_Release(&out_view);
+            PyErr_SetString(PyExc_IndexError, "label-store row out of range");
+            return NULL;
+        }
+        out[i] = (rt == rs) ? 0.0 : query_rows(st, rs, rt);
+    }
+    PyBuffer_Release(&t_view);
+    PyBuffer_Release(&out_view);
+    Py_RETURN_NONE;
+}
+
+/* query_pairs(store, s_rows_int64_buffer, t_rows_int64_buffer, out_float64_buffer) */
+static PyObject *query_pairs(PyObject *self, PyObject *const *args, Py_ssize_t nargs) {
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError, "query_pairs(store, s_rows, t_rows, out) takes 4 arguments");
+        return NULL;
+    }
+    LabelStore *st = store_from_arg(args[0]);
+    if (st == NULL) {
+        return NULL;
+    }
+    Py_buffer s_view, t_view, out_view;
+    if (PyObject_GetBuffer(args[1], &s_view, PyBUF_C_CONTIGUOUS) < 0) {
+        return NULL;
+    }
+    if (PyObject_GetBuffer(args[2], &t_view, PyBUF_C_CONTIGUOUS) < 0) {
+        PyBuffer_Release(&s_view);
+        return NULL;
+    }
+    if (PyObject_GetBuffer(args[3], &out_view, PyBUF_C_CONTIGUOUS | PyBUF_WRITABLE) < 0) {
+        PyBuffer_Release(&s_view);
+        PyBuffer_Release(&t_view);
+        return NULL;
+    }
+    if (s_view.itemsize != 8 || t_view.itemsize != 8 || out_view.itemsize != 8 ||
+        s_view.len != t_view.len || s_view.len != out_view.len) {
+        PyBuffer_Release(&s_view);
+        PyBuffer_Release(&t_view);
+        PyBuffer_Release(&out_view);
+        PyErr_SetString(PyExc_TypeError, "s_rows/t_rows/out must be matching 8-byte buffers");
+        return NULL;
+    }
+    const int64_t *s_rows = (const int64_t *)s_view.buf;
+    const int64_t *t_rows = (const int64_t *)t_view.buf;
+    double *out = (double *)out_view.buf;
+    Py_ssize_t m = s_view.len / 8;
+    for (Py_ssize_t i = 0; i < m; i++) {
+        int64_t rs = s_rows[i];
+        int64_t rt = t_rows[i];
+        if (rs < 0 || rs >= st->n || rt < 0 || rt >= st->n) {
+            PyBuffer_Release(&s_view);
+            PyBuffer_Release(&t_view);
+            PyBuffer_Release(&out_view);
+            PyErr_SetString(PyExc_IndexError, "label-store row out of range");
+            return NULL;
+        }
+        out[i] = (rs == rt) ? 0.0 : query_rows(st, rs, rt);
+    }
+    PyBuffer_Release(&s_view);
+    PyBuffer_Release(&t_view);
+    PyBuffer_Release(&out_view);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef methods[] = {
+    {"build", build, METH_VARARGS,
+     "build(mask, comp, first, logs, tbl_flat, tbl_off, pos_indptr, pos_data, "
+     "dis_indptr, dis_data) -> store capsule"},
+    {"query", (PyCFunction)query, METH_FASTCALL, "query(store, rs, rt) -> distance"},
+    {"one_to_many", (PyCFunction)one_to_many, METH_FASTCALL,
+     "one_to_many(store, rs, t_rows, out) -> None (fills out)"},
+    {"query_pairs", (PyCFunction)query_pairs, METH_FASTCALL,
+     "query_pairs(store, s_rows, t_rows, out) -> None (fills out)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef moduledef = {
+    PyModuleDef_HEAD_INIT, "_labelkernel", NULL, -1, methods,
+};
+
+PyMODINIT_FUNC PyInit__labelkernel(void) { return PyModule_Create(&moduledef); }

@@ -1,0 +1,154 @@
+"""Frozen CSR snapshot of the live graph for index-free query stages.
+
+Stage-1 queries (BiDijkstra) and the truncated one-to-many Dijkstras of the
+batch plane repeatedly walk ``Graph._adj`` — a dict of dicts whose per-edge
+iteration cost dominates small-graph searches.  A :class:`GraphSnapshot`
+freezes the adjacency into CSR arrays (``indptr`` / ``indices`` / ``weights``
+via :meth:`repro.graph.graph.Graph.to_csr`) plus per-vertex materialised
+``(neighbor, weight)`` tuple lists, which the search loops iterate directly.
+
+The searches below are literal ports of :func:`repro.algorithms.dijkstra.
+bidijkstra` and :func:`~repro.algorithms.dijkstra.dijkstra` — same
+relaxation order (CSR rows preserve the adjacency-dict iteration order),
+same heap keys (original vertex ids), same float arithmetic — so their
+results are bit-identical to the live-graph reference.
+
+Every snapshot records ``graph.version`` at freeze time; holders use
+:meth:`is_fresh` to detect out-of-band mutation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+class GraphSnapshot:
+    """Immutable CSR adjacency snapshot of one :class:`Graph` epoch."""
+
+    __slots__ = ("version", "_pairs")
+
+    def __init__(self, graph: Graph):
+        self.version = graph.version
+        # The CSR export is consumed eagerly into per-vertex neighbour tuple
+        # lists (what the search loops iterate); the raw offset arrays are
+        # not retained — keeping both would double the snapshot's footprint.
+        ids, indptr, indices, weights = graph.to_csr()
+        pairs: Dict[int, List[Tuple[int, float]]] = {}
+        for position, vertex in enumerate(ids):
+            start, end = indptr[position], indptr[position + 1]
+            pairs[vertex] = [
+                (ids[indices[j]], weights[j]) for j in range(start, end)
+            ]
+        self._pairs = pairs
+
+    @classmethod
+    def freeze(cls, graph: Graph) -> "GraphSnapshot":
+        return cls(graph)
+
+    def is_fresh(self, graph: Graph) -> bool:
+        """True while the snapshot still matches the live graph."""
+        return self.version == graph.version
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._pairs
+
+    # ------------------------------------------------------------------
+    # Searches (bit-identical ports of repro.algorithms.dijkstra)
+    # ------------------------------------------------------------------
+    def bidijkstra(self, source: int, target: int) -> float:
+        """Bidirectional Dijkstra over the frozen adjacency."""
+        pairs = self._pairs
+        if source not in pairs:
+            raise VertexNotFoundError(source)
+        if target not in pairs:
+            raise VertexNotFoundError(target)
+        if source == target:
+            return 0.0
+
+        dist_f: Dict[int, float] = {source: 0.0}
+        dist_b: Dict[int, float] = {target: 0.0}
+        settled_f: set = set()
+        settled_b: set = set()
+        heap_f: List[Tuple[float, int]] = [(0.0, source)]
+        heap_b: List[Tuple[float, int]] = [(0.0, target)]
+        best = INF
+
+        while heap_f or heap_b:
+            top_f = heap_f[0][0] if heap_f else INF
+            top_b = heap_b[0][0] if heap_b else INF
+            if best <= top_f + top_b:
+                break
+            if top_f <= top_b and heap_f:
+                d, v = heapq.heappop(heap_f)
+                if v in settled_f:
+                    continue
+                settled_f.add(v)
+                if v in dist_b:
+                    best = min(best, d + dist_b[v])
+                for u, w in pairs[v]:
+                    nd = d + w
+                    if nd < dist_f.get(u, INF):
+                        dist_f[u] = nd
+                        heapq.heappush(heap_f, (nd, u))
+                        if u in dist_b:
+                            best = min(best, nd + dist_b[u])
+            elif heap_b:
+                d, v = heapq.heappop(heap_b)
+                if v in settled_b:
+                    continue
+                settled_b.add(v)
+                if v in dist_f:
+                    best = min(best, d + dist_f[v])
+                for u, w in pairs[v]:
+                    nd = d + w
+                    if nd < dist_b.get(u, INF):
+                        dist_b[u] = nd
+                        heapq.heappush(heap_b, (nd, u))
+                        if u in dist_f:
+                            best = min(best, nd + dist_f[u])
+            else:
+                break
+        return best
+
+    def one_to_many(self, source: int, targets: Iterable[int]) -> List[float]:
+        """One truncated Dijkstra from ``source``; distances in target order."""
+        pairs = self._pairs
+        if source not in pairs:
+            raise VertexNotFoundError(source)
+        target_list = list(targets)
+        for target in target_list:
+            if target not in pairs:
+                raise VertexNotFoundError(target)
+        settled = self._dijkstra(source, target_list)
+        return [settled.get(target, INF) for target in target_list]
+
+    def _dijkstra(
+        self, source: int, targets: Optional[Iterable[int]] = None
+    ) -> Dict[int, float]:
+        pairs = self._pairs
+        remaining = set(targets) if targets is not None else None
+        dist: Dict[int, float] = {source: 0.0}
+        settled: Dict[int, float] = {}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if v in settled:
+                continue
+            settled[v] = d
+            if remaining is not None:
+                remaining.discard(v)
+                if not remaining:
+                    break
+            for u, w in pairs[v]:
+                nd = d + w
+                if nd < dist.get(u, INF):
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        return settled

@@ -1,0 +1,101 @@
+"""Flattened hub-label table for the TOAIN baseline.
+
+TOAIN materialises, per vertex, distances to its upward-reachable core
+("check-in") vertices as per-vertex dicts.  A :class:`HubStore` freezes those
+dicts into a CSR table — one ``int64`` array of core-slot ids and one
+``float64`` array of distances — and answers the one-to-many hub join with a
+dense source vector: the source's labels are scattered once into a
+``core_size`` vector, every target's slots gather from it in one fancy
+index, and a single ``np.minimum.reduceat`` over the concatenated hub axis
+yields the per-target join minimum.
+
+The join arithmetic matches the scalar reference (``d_s + d_t`` minimised
+over the hubs both vertices share; targets with no shared hub get ``inf``),
+so results are bit-identical to the dict-based loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+from repro.exceptions import VertexNotFoundError
+
+INF = math.inf
+
+
+class HubStore:
+    """Immutable CSR snapshot of TOAIN's per-vertex core-label dicts."""
+
+    __slots__ = ("row", "core_size", "hub_indptr", "hub_slots", "hub_dists")
+
+    def __init__(self, row, core_size, hub_indptr, hub_slots, hub_dists):
+        self.row = row
+        self.core_size = core_size
+        self.hub_indptr = hub_indptr
+        self.hub_slots = hub_slots
+        self.hub_dists = hub_dists
+
+    @classmethod
+    def freeze(
+        cls, core_labels: Dict[int, Dict[int, float]], core_slots: Dict[int, int]
+    ) -> Optional["HubStore"]:
+        """Flatten ``core_labels`` (hub vertices mapped through ``core_slots``)."""
+        if np is None or not core_labels:
+            return None
+        verts = sorted(core_labels)
+        row = {v: i for i, v in enumerate(verts)}
+        counts = [len(core_labels[v]) for v in verts]
+        hub_indptr = np.zeros(len(verts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=hub_indptr[1:])
+        total = int(hub_indptr[-1])
+        hub_slots = np.empty(total, dtype=np.int64)
+        hub_dists = np.empty(total, dtype=np.float64)
+        offset = 0
+        for v in verts:
+            for hub, distance in core_labels[v].items():
+                hub_slots[offset] = core_slots[hub]
+                hub_dists[offset] = distance
+                offset += 1
+        return cls(row, len(core_slots), hub_indptr, hub_slots, hub_dists)
+
+    def join_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """Hub-join minimum from ``source`` to each target (``inf`` when none)."""
+        row = self.row
+        if source not in row:
+            raise VertexNotFoundError(source)
+        target_rows = []
+        for target in targets:
+            if target not in row:
+                raise VertexNotFoundError(target)
+            target_rows.append(row[target])
+        if not target_rows:
+            return []
+        rs = row[source]
+        s_start, s_end = self.hub_indptr[rs], self.hub_indptr[rs + 1]
+        dense = np.full(self.core_size, INF, dtype=np.float64)
+        dense[self.hub_slots[s_start:s_end]] = self.hub_dists[s_start:s_end]
+
+        t_rows = np.asarray(target_rows, dtype=np.int64)
+        starts = self.hub_indptr[t_rows]
+        counts = self.hub_indptr[t_rows + 1] - starts
+        out = np.full(len(t_rows), INF, dtype=np.float64)
+        nonempty = counts > 0
+        if not nonempty.any():
+            return out.tolist()
+        ne_starts = starts[nonempty]
+        ne_counts = counts[nonempty]
+        seg = np.zeros(len(ne_counts), dtype=np.int64)
+        np.cumsum(ne_counts[:-1], out=seg[1:])
+        total = int(seg[-1] + ne_counts[-1])
+        flat = np.arange(total, dtype=np.int64) - np.repeat(seg, ne_counts) + np.repeat(
+            ne_starts, ne_counts
+        )
+        candidates = dense[self.hub_slots[flat]] + self.hub_dists[flat]
+        out[nonempty] = np.minimum.reduceat(candidates, seg)
+        return out.tolist()

@@ -1,0 +1,279 @@
+"""Frozen CSR store for H2H-family distance labels.
+
+A :class:`LabelStore` is an immutable, flat-array snapshot of one
+:class:`~repro.labeling.h2h.H2HLabels` instance: the per-vertex distance
+arrays ``X(v).dis`` become one ``int64`` offset array plus one contiguous
+``float64`` data array, the hub positions ``X(v).pos`` become a second CSR
+pair, and the tree's Euler-tour LCA oracle is flattened into integer arrays
+whose sparse-table entries are packed as ``depth << SHIFT | row`` so the
+range-minimum over depths is a plain integer minimum.
+
+Two query backends read the store:
+
+* the **native backend** (``repro.kernels.native``) runs the LCA + hub scan
+  in C — this is what makes *scalar* queries fast;
+* the **vectorized backend** answers whole batches with numpy: one gather of
+  the ragged hub-position segments and one ``np.minimum.reduceat`` over the
+  hub axis per batch — no per-pair Python.
+
+Both backends perform exactly the reference arithmetic (``dis_s[i] +
+dis_t[i]`` minimised over ``i ∈ pos[lca]``), so their results are
+bit-identical to ``H2HLabels.query``; the equivalence suite in
+``tests/test_kernels.py`` enforces this for every index.
+
+The *layout* (row numbering, LCA arrays, position CSR) depends only on the
+tree structure, which weight-only updates never change — it is computed once
+per tree and cached on the :class:`~repro.treedec.tree.TreeDecomposition`
+keyed by its ``structure_version``.  A freeze after an update batch therefore
+only re-packs the distance data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # numpy is a hard dependency of the package but the kernels degrade
+    import numpy as np  # gracefully so the pure-Python paths keep working.
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+from repro.exceptions import VertexNotFoundError
+from repro.kernels.native import native_kernel
+
+INF = math.inf
+
+#: Rows are packed into the low bits of sparse-table entries; depth goes in
+#: the high bits.  2^22 rows is far beyond any graph this package indexes.
+SHIFT = 22
+MASK = (1 << SHIFT) - 1
+
+
+class LabelLayout:
+    """Structure-dependent part of a label store (shared across freezes)."""
+
+    __slots__ = (
+        "version",
+        "row",
+        "verts",
+        "comp",
+        "first",
+        "logs",
+        "tbl_flat",
+        "tbl_off",
+        "pos_indptr",
+        "pos_data",
+    )
+
+    def __init__(self, tree, verts: List[int], pos: Dict[int, List[int]]):
+        self.version = getattr(tree, "structure_version", 0)
+        self.verts = verts
+        self.row = {v: i for i, v in enumerate(verts)}
+        row = self.row
+        # Force the Euler-tour oracle, then flatten it into row space.
+        some = verts[0]
+        tree.lca(some, some)
+        oracle = tree._lca
+        self.comp = np.array([tree.component[v] for v in verts], dtype=np.int64)
+        self.first = np.array([oracle._first[v] for v in verts], dtype=np.int64)
+        self.logs = np.array(oracle._log, dtype=np.int64)
+        depth = tree.depth
+        packed = [(depth[v] << SHIFT) | row[v] for v in oracle._euler]
+        levels = [
+            np.array([packed[i] for i in level], dtype=np.int64)
+            for level in oracle._table
+        ]
+        tbl_off = np.zeros(len(levels) + 1, dtype=np.int64)
+        for k, level in enumerate(levels):
+            tbl_off[k + 1] = tbl_off[k] + len(level)
+        self.tbl_off = tbl_off
+        self.tbl_flat = (
+            np.concatenate(levels) if levels else np.zeros(0, dtype=np.int64)
+        )
+        counts = [len(pos[v]) for v in verts]
+        self.pos_indptr = np.zeros(len(verts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.pos_indptr[1:])
+        self.pos_data = np.array(
+            [i for v in verts for i in pos[v]], dtype=np.int64
+        )
+
+
+def _layout_for(tree, labels) -> Optional[LabelLayout]:
+    """The (cached) layout of ``labels``'s tree, or ``None`` if unsupported."""
+    verts = sorted(labels.dis.keys())
+    if not verts or len(verts) >= (1 << SHIFT):
+        return None
+    if len(verts) != len(tree.parent):
+        # Restricted label builds (dis covering a subset of the tree) keep
+        # the pure-Python path; none of the shipped indexes hits this.
+        return None
+    cached = getattr(tree, "_kernel_layout", None)
+    version = getattr(tree, "structure_version", 0)
+    if cached is not None and cached.version == version:
+        return cached
+    layout = LabelLayout(tree, verts, labels.pos)
+    tree._kernel_layout = layout
+    return layout
+
+
+class LabelStore:
+    """One frozen snapshot of an ``H2HLabels`` instance (see module docs)."""
+
+    __slots__ = ("layout", "dis_indptr", "dis_data", "capsule", "query_fn")
+
+    def __init__(self, layout: LabelLayout, dis_indptr, dis_data):
+        self.layout = layout
+        self.dis_indptr = dis_indptr
+        self.dis_data = dis_data
+        self.capsule = None
+        self.query_fn = None
+        kernel = native_kernel()
+        if kernel is not None:
+            self.capsule = kernel.build(
+                MASK,
+                layout.comp,
+                layout.first,
+                layout.logs,
+                layout.tbl_flat,
+                layout.tbl_off,
+                layout.pos_indptr,
+                layout.pos_data,
+                dis_indptr,
+                dis_data,
+            )
+            self.query_fn = self._make_scalar_query(kernel)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def freeze(cls, labels) -> Optional["LabelStore"]:
+        """Freeze ``labels`` into a flat store; ``None`` when unsupported."""
+        if np is None:
+            return None
+        layout = _layout_for(labels.tree, labels)
+        if layout is None:
+            return None
+        verts = layout.verts
+        dis = labels.dis
+        counts = [len(dis[v]) for v in verts]
+        dis_indptr = np.zeros(len(verts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=dis_indptr[1:])
+        dis_data = np.empty(int(dis_indptr[-1]), dtype=np.float64)
+        offset = 0
+        for v, count in zip(verts, counts):
+            dis_data[offset : offset + count] = dis[v]
+            offset += count
+        return cls(layout, dis_indptr, dis_data)
+
+    # ------------------------------------------------------------------
+    # Scalar path (native backend)
+    # ------------------------------------------------------------------
+    def _make_scalar_query(self, kernel):
+        row = self.layout.row
+        capsule = self.capsule
+        native_query = kernel.query
+
+        def query(source: int, target: int) -> float:
+            try:
+                rs = row[source]
+                rt = row[target]
+            except (KeyError, TypeError):
+                raise VertexNotFoundError(
+                    source if source not in row else target
+                ) from None
+            if source == target:
+                return 0.0
+            return native_query(capsule, rs, rt)
+
+        return query
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def _rows_of(self, vertices: Sequence[int]):
+        row = self.layout.row
+        try:
+            return np.fromiter(
+                (row[v] for v in vertices), dtype=np.int64, count=len(vertices)
+            )
+        except (KeyError, TypeError):
+            for v in vertices:
+                if v not in row:
+                    raise VertexNotFoundError(v) from None
+            raise
+
+    def one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """Distances from ``source`` to every target (bit-identical batch)."""
+        row = self.layout.row
+        if source not in row:
+            raise VertexNotFoundError(source)
+        targets = list(targets)
+        if not targets:
+            return []
+        t_rows = self._rows_of(targets)
+        kernel = native_kernel()
+        if self.capsule is not None and kernel is not None:
+            out = np.empty(len(targets), dtype=np.float64)
+            kernel.one_to_many(self.capsule, row[source], t_rows, out)
+            return out.tolist()
+        s_rows = np.full(len(targets), row[source], dtype=np.int64)
+        return self._vectorized_pairs(s_rows, t_rows).tolist()
+
+    def query_pairs(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
+        """Distances for arbitrary ``(source, target)`` pairs, input order."""
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        s_rows = self._rows_of([s for s, _ in pairs])
+        t_rows = self._rows_of([t for _, t in pairs])
+        kernel = native_kernel()
+        if self.capsule is not None and kernel is not None:
+            out = np.empty(len(pairs), dtype=np.float64)
+            kernel.query_pairs(self.capsule, s_rows, t_rows, out)
+            return out.tolist()
+        return self._vectorized_pairs(s_rows, t_rows).tolist()
+
+    def _vectorized_pairs(self, s_rows, t_rows):
+        """Pure-numpy batch backend: one reduceat over the hub axis.
+
+        Per-pair arithmetic is exactly the scalar reference (float64 sums,
+        order-independent minimum), so results stay bit-identical.
+        """
+        layout = self.layout
+        out = np.empty(len(s_rows), dtype=np.float64)
+        same = s_rows == t_rows
+        split = layout.comp[s_rows] != layout.comp[t_rows]
+        out[same] = 0.0
+        out[split] = INF
+        regular = ~(same | split)
+        rs = s_rows[regular]
+        rt = t_rows[regular]
+        if rs.size == 0:
+            return out
+        fs = layout.first[rs]
+        ft = layout.first[rt]
+        lo = np.minimum(fs, ft)
+        hi = np.maximum(fs, ft)
+        k = layout.logs[hi - lo + 1]
+        base = layout.tbl_off[k]
+        a = layout.tbl_flat[base + lo]
+        b = layout.tbl_flat[base + hi - (1 << k) + 1]
+        lca_rows = np.minimum(a, b) & MASK
+        starts = layout.pos_indptr[lca_rows]
+        counts = layout.pos_indptr[lca_rows + 1] - starts
+        seg = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=seg[1:])
+        total = int(seg[-1] + counts[-1])
+        flat = np.arange(total, dtype=np.int64) - np.repeat(seg, counts) + np.repeat(
+            starts, counts
+        )
+        hub_positions = layout.pos_data[flat]
+        s_base = np.repeat(self.dis_indptr[rs], counts)
+        t_base = np.repeat(self.dis_indptr[rt], counts)
+        candidates = (
+            self.dis_data[s_base + hub_positions]
+            + self.dis_data[t_base + hub_positions]
+        )
+        out[regular] = np.minimum.reduceat(candidates, seg)
+        return out

@@ -1,0 +1,94 @@
+"""Frozen upward-shortcut store for CH-style bidirectional searches.
+
+CH-family query stages (DCH, the CH stage of MHL, the PCH stages of PMHL and
+PostMHL, TOAIN's sub-core search, the CH-underlying PSP families) all search
+an "upward neighbours" mapping — live dict-of-dict shortcut arrays, sometimes
+filtered or merged per call.  A :class:`ShortcutStore` freezes the relevant
+upward adjacency into per-vertex ``(neighbor, weight)`` tuple lists built in
+the source mapping's iteration order, and runs the bidirectional upward
+search directly over them.
+
+The search is a literal port of :func:`repro.hierarchy.ch.
+ch_bidirectional_query` (same relaxation order, same heap keys, same float
+arithmetic), so results are bit-identical to the live-dict reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+
+INF = math.inf
+
+
+class ShortcutStore:
+    """Immutable upward adjacency (vertex -> [(higher-rank neighbor, weight)])."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Dict[int, List[Tuple[int, float]]]):
+        self._pairs = pairs
+
+    @classmethod
+    def freeze(
+        cls,
+        upward: Callable[[int], Mapping[int, float]],
+        vertices: Iterable[int],
+    ) -> "ShortcutStore":
+        """Materialise ``upward(v)`` for every vertex, preserving item order."""
+        return cls({v: list(upward(v).items()) for v in vertices})
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._pairs
+
+    def query(self, source: int, target: int) -> float:
+        """Bidirectional upward search over the frozen shortcut arrays."""
+        if source == target:
+            return 0.0
+        pairs = self._pairs
+
+        dist_f: Dict[int, float] = {source: 0.0}
+        dist_b: Dict[int, float] = {target: 0.0}
+        heap_f: List[Tuple[float, int]] = [(0.0, source)]
+        heap_b: List[Tuple[float, int]] = [(0.0, target)]
+        settled_f: Dict[int, float] = {}
+        settled_b: Dict[int, float] = {}
+        best = INF
+
+        while heap_f or heap_b:
+            top_f = heap_f[0][0] if heap_f else INF
+            top_b = heap_b[0][0] if heap_b else INF
+            if min(top_f, top_b) >= best:
+                break
+            if top_f <= top_b and heap_f:
+                d, v = heapq.heappop(heap_f)
+                if v in settled_f:
+                    continue
+                settled_f[v] = d
+                if v in dist_b:
+                    best = min(best, d + dist_b[v])
+                for u, w in pairs[v]:
+                    nd = d + w
+                    if nd < dist_f.get(u, INF):
+                        dist_f[u] = nd
+                        heapq.heappush(heap_f, (nd, u))
+                        if u in dist_b:
+                            best = min(best, nd + dist_b[u])
+            elif heap_b:
+                d, v = heapq.heappop(heap_b)
+                if v in settled_b:
+                    continue
+                settled_b[v] = d
+                if v in dist_f:
+                    best = min(best, d + dist_f[v])
+                for u, w in pairs[v]:
+                    nd = d + w
+                    if nd < dist_b.get(u, INF):
+                        dist_b[u] = nd
+                        heapq.heappush(heap_b, (nd, u))
+                        if u in dist_f:
+                            best = min(best, nd + dist_f[u])
+            else:
+                break
+        return best

@@ -30,6 +30,7 @@ from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
+from repro.kernels.label_store import LabelStore
 from repro.registry import IndexSpec, register_spec
 from repro.treedec.mde import ContractionResult, contract_graph, update_shortcuts_bottom_up
 from repro.treedec.tree import TreeDecomposition
@@ -231,8 +232,16 @@ class H2HIndex(DistanceIndex):
             raise IndexNotBuiltError(f"{self.name} index has not been built")
         return self.labels
 
+    def _label_store(self):
+        """The frozen :class:`LabelStore` of this epoch (``None`` = pure path)."""
+        return self._kernel("labels", lambda: LabelStore.freeze(self.labels))
+
     def query(self, source: int, target: int) -> float:
         labels = self._require_built()
+        store = self._label_store()
+        if store is not None and store.query_fn is not None:
+            # Native scalar kernel; raises VertexNotFoundError for unknown ids.
+            return store.query_fn(source, target)
         if source not in self.contraction.rank:
             raise VertexNotFoundError(source)
         if target not in self.contraction.rank:
@@ -242,6 +251,9 @@ class H2HIndex(DistanceIndex):
     def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
         """Amortised batch query: the source label is fetched once."""
         labels = self._require_built()
+        store = self._label_store()
+        if store is not None:
+            return store.one_to_many(source, list(targets))
         rank = self.contraction.rank
         if source not in rank:
             raise VertexNotFoundError(source)
@@ -250,6 +262,19 @@ class H2HIndex(DistanceIndex):
             if target not in rank:
                 raise VertexNotFoundError(target)
         return labels.query_one_to_many(source, targets)
+
+    def query_many(self, pairs) -> List[float]:
+        """Vectorized batch query over the frozen label store.
+
+        Arbitrary pair batches go straight through the store's pair kernel
+        (no source grouping needed); the pure-Python reference keeps the
+        source-grouped default of :class:`~repro.base.DistanceIndex`.
+        """
+        self._require_built()
+        store = self._label_store()
+        if store is not None:
+            return store.query_pairs(list(pairs))
+        return super().query_many(pairs)
 
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         raise NotImplementedError("H2HIndex is static; use DH2HIndex for dynamic maintenance")
@@ -288,6 +313,8 @@ class DH2HIndex(H2HIndex):
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         labels = self._require_built()
         report = UpdateReport()
+        # Before any structure mutates: no query may read a pre-update store.
+        self.invalidate_kernels()
 
         with Timer() as timer:
             batch.apply(self.graph)

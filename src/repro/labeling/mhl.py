@@ -29,6 +29,7 @@ from repro.base import StageTiming, Timer, UpdateReport
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
 from repro.hierarchy.ch import ch_bidirectional_query
+from repro.kernels.shortcut_store import ShortcutStore
 from repro.labeling.h2h import DH2HIndex
 from repro.registry import IndexSpec, register_spec
 from repro.treedec.mde import update_shortcuts_bottom_up
@@ -55,18 +56,33 @@ class MHLIndex(DH2HIndex):
     # ------------------------------------------------------------------
     def query_bidijkstra(self, source: int, target: int) -> float:
         """Stage-1 query: index-free bidirectional Dijkstra on the live graph."""
+        snapshot = self._graph_snapshot()
+        if snapshot is not None:
+            return snapshot.bidijkstra(source, target)
         return bidijkstra(self.graph, source, target)
 
     def query_ch(self, source: int, target: int) -> float:
         """Stage-2 query: CH search over the shortcut arrays ``X(v).sc``."""
         self._require_built()
+        store = self._kernel(
+            "ch",
+            lambda: ShortcutStore.freeze(
+                lambda v: self.contraction.shortcuts[v], self.contraction.order
+            ),
+        )
+        if store is not None:
+            return store.query(source, target)
         return ch_bidirectional_query(
             source, target, lambda v: self.contraction.shortcuts[v]
         )
 
     def query_h2h(self, source: int, target: int) -> float:
         """Stage-3 query: H2H label lookup (fastest)."""
-        return self._require_built().query(source, target)
+        labels = self._require_built()
+        store = self._label_store()
+        if store is not None and store.query_fn is not None:
+            return store.query_fn(source, target)
+        return labels.query(source, target)
 
     def query_at_stage(self, source: int, target: int, stage: MHLQueryStage) -> float:
         """Dispatch a query to the requested stage's algorithm."""
@@ -93,6 +109,7 @@ class MHLIndex(DH2HIndex):
         """
         labels = self._require_built()
         report = UpdateReport()
+        self.invalidate_kernels()
 
         with Timer() as timer:
             batch.apply(self.graph)

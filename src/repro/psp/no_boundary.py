@@ -26,6 +26,8 @@ from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
+from repro.kernels.label_store import LabelStore
+from repro.kernels.shortcut_store import ShortcutStore
 from repro.partitioning.base import Partitioning
 from repro.partitioning.natural_cut import natural_cut_partition
 from repro.partitioning.ordering import boundary_first_order
@@ -99,6 +101,56 @@ class NoBoundaryPSPIndex(DistanceIndex):
             raise IndexNotBuiltError(f"{self.name} index has not been built")
 
     # ------------------------------------------------------------------
+    # Frozen stores (see repro.kernels)
+    #
+    # H2H-underlying structures freeze into :class:`LabelStore`\ s, CH
+    # underlying ones into :class:`ShortcutStore`\ s.  Per-partition stores
+    # are memoised under distinct keys so a query batch touching one
+    # partition never freezes the others.
+    # ------------------------------------------------------------------
+    def _store_for(self, key: str, labels, contraction):
+        def freeze():
+            if self.with_kernel_labels and labels is not None:
+                return LabelStore.freeze(labels)
+            return ShortcutStore.freeze(
+                lambda v: contraction.shortcuts[v], contraction.order
+            )
+
+        return self._kernel(key, freeze)
+
+    @property
+    def with_kernel_labels(self) -> bool:
+        return self.underlying == "h2h"
+
+    def _overlay_store(self):
+        return self._store_for(
+            "overlay", self.overlay.labels, self.overlay.contraction
+        )
+
+    def _partition_store(self, pid: int):
+        return self._store_for(
+            f"partition_{pid}", self.family.labels[pid], self.family.contractions[pid]
+        )
+
+    def _overlay_distance(self, b1: int, b2: int) -> float:
+        store = self._overlay_store()
+        if isinstance(store, LabelStore):
+            if store.query_fn is not None:
+                return store.query_fn(b1, b2)
+        elif store is not None:
+            return store.query(b1, b2)
+        return self.overlay.query(b1, b2)
+
+    def _partition_distance(self, pid: int, source: int, target: int) -> float:
+        store = self._partition_store(pid)
+        if isinstance(store, LabelStore):
+            if store.query_fn is not None:
+                return store.query_fn(source, target)
+        elif store is not None:
+            return store.query(source, target)
+        return self.family.query(pid, source, target)
+
+    # ------------------------------------------------------------------
     # Query processing
     #
     # The case analysis is written against two injectable fetchers so the
@@ -110,10 +162,20 @@ class NoBoundaryPSPIndex(DistanceIndex):
     #
     # The scalar path passes the raw (unmemoised) fetchers, the batch path
     # memoising wrappers around the very same calls, so both produce
-    # bit-identical distances.
+    # bit-identical distances.  Both route through the frozen stores above
+    # when ``use_kernels`` is on.
     # ------------------------------------------------------------------
     def _to_boundary(self, pid: int, vertex: int) -> Dict[int, float]:
         """Distances from ``vertex`` to its partition boundary (overridable)."""
+        store = self._partition_store(pid)
+        if isinstance(store, LabelStore):
+            boundary = sorted(self.partitioning.boundary(pid))
+            return dict(zip(boundary, store.one_to_many(vertex, boundary)))
+        if store is not None:
+            return {
+                b: store.query(vertex, b)
+                for b in sorted(self.partitioning.boundary(pid))
+            }
         return self.family.distances_to_boundary(pid, vertex)
 
     def query(self, source: int, target: int) -> float:
@@ -122,7 +184,9 @@ class NoBoundaryPSPIndex(DistanceIndex):
             raise VertexNotFoundError(source)
         if not self.graph.has_vertex(target):
             raise VertexNotFoundError(target)
-        return self._query_with(source, target, self.overlay.query, self._to_boundary)
+        return self._query_with(
+            source, target, self._overlay_distance, self._to_boundary
+        )
 
     def query_many(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
         """Batched queries sharing overlay/boundary lookups across the batch.
@@ -143,7 +207,7 @@ class NoBoundaryPSPIndex(DistanceIndex):
                 raise VertexNotFoundError(target)
 
         overlay_memo: Dict[Tuple[int, int], float] = {}
-        overlay_query = self.overlay.query
+        overlay_query = self._overlay_distance
 
         def cached_overlay(bp: int, bq: int) -> float:
             key = (bp, bq)
@@ -211,7 +275,7 @@ class NoBoundaryPSPIndex(DistanceIndex):
         to_boundary: Callable[[int, int], Dict[int, float]],
     ) -> float:
         """Same-partition query: local distance vs. detour through the overlay."""
-        best = self.family.query(pid, source, target)
+        best = self._partition_distance(pid, source, target)
         source_to_boundary = to_boundary(pid, source)
         target_to_boundary = to_boundary(pid, target)
         for bp, d_s in source_to_boundary.items():
@@ -273,6 +337,8 @@ class NoBoundaryPSPIndex(DistanceIndex):
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         self._require_built()
         report = UpdateReport()
+        # Before any structure mutates (kernel staleness protocol).
+        self.invalidate_kernels()
 
         with Timer() as timer:
             batch.apply(self.graph)

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.base import StageTiming, UpdateReport
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
+from repro.kernels.label_store import LabelStore
 from repro.partitioning.base import Partitioning
 from repro.psp.no_boundary import NoBoundaryPSPIndex
 from repro.psp.partition_family import PartitionIndexFamily
@@ -85,9 +86,26 @@ class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
     #
     # Boundary distances flow through the extended family here, so the
     # inherited ``query_many`` batch memo automatically caches extended-family
-    # lookups instead of the base family's.
+    # lookups instead of the base family's; the frozen per-partition stores
+    # likewise snapshot the *extended* structures.
     # ------------------------------------------------------------------
+    def _extended_store(self, pid: int):
+        return self._store_for(
+            f"extended_{pid}",
+            self.extended_family.labels[pid],
+            self.extended_family.contractions[pid],
+        )
+
     def _to_boundary(self, pid: int, vertex: int) -> Dict[int, float]:
+        store = self._extended_store(pid)
+        if isinstance(store, LabelStore):
+            boundary = sorted(self.partitioning.boundary(pid))
+            return dict(zip(boundary, store.one_to_many(vertex, boundary)))
+        if store is not None:
+            return {
+                b: store.query(vertex, b)
+                for b in sorted(self.partitioning.boundary(pid))
+            }
         return self.extended_family.distances_to_boundary(pid, vertex)
 
     def _same_partition_query(
@@ -98,6 +116,12 @@ class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
         overlay_query: Callable[[int, int], float],
         to_boundary: Callable[[int, int], Dict[int, float]],
     ) -> float:
+        store = self._extended_store(pid)
+        if isinstance(store, LabelStore):
+            if store.query_fn is not None:
+                return store.query_fn(source, target)
+        elif store is not None:
+            return store.query(source, target)
         return self.extended_family.query(pid, source, target)
 
     def _boundary_to_inner(

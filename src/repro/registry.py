@@ -55,6 +55,11 @@ class IndexSpec:
     #: ``{spec_field: config_attribute}`` binding for :func:`spec_from_config`.
     config_fields: ClassVar[Mapping[str, str]] = {}
 
+    #: Answer queries through the frozen flat-array kernels of
+    #: ``repro.kernels`` (default).  ``False`` keeps the pure-Python
+    #: reference path; results are bit-identical either way.
+    use_kernels: bool = True
+
     def create(self, graph: Graph) -> DistanceIndex:
         """Instantiate (but do not build) the index on ``graph``."""
         raise NotImplementedError
@@ -155,7 +160,11 @@ def create_index(
         spec = spec_or_name.replace(**overrides) if overrides else spec_or_name
     else:
         spec = get_spec(spec_or_name, **overrides)
-    return spec.create(graph)
+    index = spec.create(graph)
+    # The kernel switch is carried by the base spec so every method gets it
+    # without each concrete ``create`` having to forward it.
+    index.use_kernels = spec.use_kernels
+    return index
 
 
 def registered_methods() -> List[str]:

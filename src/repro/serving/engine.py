@@ -275,6 +275,13 @@ class ServingEngine:
                         self._snapshots[pending_epoch] = index.graph.copy()
                         while len(self._snapshots) > self._snapshot_limit:
                             self._snapshots.popitem(last=False)
+                # Key the frozen query kernels to the serving epoch: every
+                # store frozen from here on belongs to ``pending_epoch`` and
+                # is frozen at most once per stage (apply_batch also
+                # invalidates at entry; this call is the engine-side guard
+                # for indexes installed behind custom apply_batch wrappers).
+                # Both write locks are held, so no reader can be mid-freeze.
+                index.invalidate_kernels()
                 self.router.begin_epoch(pending_epoch)
                 if self.cache is not None:
                     self.cache.invalidate_partitions(affected)

@@ -51,6 +51,9 @@ class TreeDecomposition:
     depth: Dict[int, int] = field(default_factory=dict)
     ancestors: Dict[int, List[int]] = field(default_factory=dict)
     component: Dict[int, int] = field(default_factory=dict)
+    #: Bumped whenever the tree *structure* is (re)computed; memoised
+    #: traversal orders and frozen kernel layouts key off this counter.
+    structure_version: int = 0
     _lca: Optional[LCAOracle] = None
 
     # ------------------------------------------------------------------
@@ -118,8 +121,13 @@ class TreeDecomposition:
                     stack.append(child)
         if len(order) != len(self.contraction.order):
             raise GraphError("tree traversal did not reach every vertex")
-        self._topdown_order = order
+        # Structural change: invalidate every structure-keyed memo (traversal
+        # orders, the LCA oracle, frozen kernel layouts).
+        self._topdown_order = tuple(order)
+        self._bottomup_order = tuple(reversed(order))
+        self.structure_version += 1
         self._lca = None
+        self._kernel_layout = None
 
     # ------------------------------------------------------------------
     # Queries on the structure
@@ -138,13 +146,20 @@ class TreeDecomposition:
         """Width of the decomposition (max neighbour-set size)."""
         return self.contraction.treewidth_upper_bound
 
-    def top_down_order(self) -> List[int]:
-        """Vertices in an order where every parent precedes its children."""
-        return list(self._topdown_order)
+    def top_down_order(self) -> Sequence[int]:
+        """Vertices in an order where every parent precedes its children.
 
-    def bottom_up_order(self) -> List[int]:
-        """Vertices in an order where every child precedes its parent."""
-        return list(reversed(self._topdown_order))
+        Memoised: returns the cached (immutable) tuple rather than a fresh
+        list — ``H2HLabels.build`` and the partial-rebuild paths call this on
+        every (re)construction, so the per-call O(n) copy was pure waste.
+        The memo is invalidated by :meth:`_compute_depths_and_ancestors`,
+        the single place the tree structure changes.
+        """
+        return self._topdown_order
+
+    def bottom_up_order(self) -> Sequence[int]:
+        """Vertices in an order where every child precedes its parent (memoised)."""
+        return self._bottomup_order
 
     def neighbors(self, v: int) -> List[int]:
         """``X(v).N`` — the tree-node neighbour set of ``v``."""

@@ -1,0 +1,235 @@
+"""Frozen query kernels: equivalence, staleness and lifecycle guarantees.
+
+The contract under test (see DESIGN.md §7):
+
+* with ``use_kernels=True`` (the default) every index answers scalar and
+  batch queries through the frozen flat-array stores of ``repro.kernels``,
+  and the results are **bit-identical** to the pure-Python reference path
+  (``use_kernels=False``) on all nine methods — freshly built and after
+  ``apply_batch``;
+* a query after an update never reads a pre-freeze store: ``apply_batch``
+  invalidates at entry, the kernel epoch advances, and post-update answers
+  replay exactly against a fresh Dijkstra oracle;
+* the CSR graph snapshot is additionally keyed to ``graph.version`` so even
+  out-of-band graph mutation cannot be served from a stale snapshot;
+* the vectorized numpy batch backend (used when the native C kernel is
+  unavailable) is bit-identical too.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - the no-numpy CI job
+    numpy = None
+
+from repro.algorithms.dijkstra import bidijkstra, dijkstra_distance
+from repro.graph.generators import grid_road_network
+from repro.graph.updates import generate_update_batch
+from repro.kernels import LabelStore
+from repro.registry import create_index, get_spec
+from repro.serving.engine import ServingEngine
+from repro.throughput.workload import sample_query_pairs
+
+#: All nine registered methods with small-graph construction parameters.
+NINE_SPECS = {
+    "BiDijkstra": get_spec("BiDijkstra"),
+    "DCH": get_spec("DCH"),
+    "DH2H": get_spec("DH2H"),
+    "MHL": get_spec("MHL"),
+    "TOAIN": get_spec("TOAIN", checkin_fraction=0.25),
+    "N-CH-P": get_spec("N-CH-P", num_partitions=4, seed=0),
+    "P-TD-P": get_spec("P-TD-P", num_partitions=4, seed=0),
+    "PMHL": get_spec("PMHL", num_partitions=4, seed=0),
+    "PostMHL": get_spec("PostMHL", bandwidth=10, expected_partitions=4),
+}
+
+#: The methods whose labels freeze into a :class:`LabelStore` (the H2H family).
+H2H_FAMILY = ("DH2H", "MHL", "PMHL", "PostMHL")
+
+#: The equivalence/staleness tests run with or without numpy (kernels degrade
+#: to the reference paths); the store-introspection and speedup tests don't.
+needs_numpy = pytest.mark.skipif(
+    numpy is None, reason="numpy-backed label stores unavailable"
+)
+
+
+def _query_pairs(graph):
+    pairs = list(sample_query_pairs(graph, 60, seed=3))
+    # Edge cases: identical endpoints and a repeated source (grouping path).
+    pairs += [(0, 0), (7, 7), (0, 5), (0, 9), (0, 13)]
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def index_pairs():
+    """Every method built twice on the same 10x10 grid: kernels on / off."""
+    base = grid_road_network(10, 10, seed=5)
+    built = {}
+    for name, spec in NINE_SPECS.items():
+        fast = create_index(spec, base.copy())
+        fast.build()
+        reference = create_index(spec, base.copy(), use_kernels=False)
+        reference.build()
+        built[name] = (fast, reference)
+    return built
+
+
+class TestFreshEquivalence:
+    @pytest.mark.parametrize("method", sorted(NINE_SPECS))
+    def test_scalar_bit_identical(self, index_pairs, method):
+        fast, reference = index_pairs[method]
+        pairs = _query_pairs(fast.graph)
+        assert [fast.query(s, t) for s, t in pairs] == [
+            reference.query(s, t) for s, t in pairs
+        ]
+
+    @pytest.mark.parametrize("method", sorted(NINE_SPECS))
+    def test_query_many_bit_identical(self, index_pairs, method):
+        fast, reference = index_pairs[method]
+        pairs = _query_pairs(fast.graph)
+        assert fast.query_many(pairs) == reference.query_many(pairs)
+
+    @pytest.mark.parametrize("method", sorted(NINE_SPECS))
+    def test_query_one_to_many_bit_identical(self, index_pairs, method):
+        fast, reference = index_pairs[method]
+        pairs = _query_pairs(fast.graph)
+        source = pairs[0][0]
+        targets = [t for _, t in pairs]
+        assert fast.query_one_to_many(source, targets) == reference.query_one_to_many(
+            source, targets
+        )
+
+    def test_reference_path_freezes_nothing(self, index_pairs):
+        for method, (_fast, reference) in index_pairs.items():
+            assert reference._kernel_stores == {}, method
+            assert reference._graph_snapshot_cache is None, method
+
+
+class TestPostUpdateEquivalence:
+    @pytest.mark.parametrize("method", sorted(NINE_SPECS))
+    def test_equivalence_and_correctness_after_apply_batch(self, index_pairs, method):
+        fast, reference = index_pairs[method]
+        pairs = _query_pairs(fast.graph)
+        # Warm the frozen stores so the update provably invalidates them.
+        fast.query_many(pairs[:5])
+        epoch_before = fast.kernel_epoch
+
+        # The two graph copies are identical, so the seeded batches coincide.
+        fast.apply_batch(generate_update_batch(fast.graph, volume=12, seed=9))
+        reference.apply_batch(generate_update_batch(reference.graph, volume=12, seed=9))
+        assert fast.kernel_epoch > epoch_before
+
+        scalar = [fast.query(s, t) for s, t in pairs]
+        assert scalar == [reference.query(s, t) for s, t in pairs]
+        assert fast.query_many(pairs) == reference.query_many(pairs)
+        # Correct, not merely self-consistent: replay against a fresh oracle.
+        oracle = [dijkstra_distance(fast.graph, s, t) for s, t in pairs]
+        assert all(
+            abs(a - b) <= 1e-6 * max(1.0, abs(b)) for a, b in zip(scalar, oracle)
+        )
+
+
+class TestStaleness:
+    @needs_numpy
+    def test_update_invalidates_frozen_label_store(self):
+        graph = grid_road_network(8, 8, seed=2)
+        index = create_index("DH2H", graph)
+        index.build()
+        pairs = _query_pairs(graph)
+        index.query_many(pairs)  # freeze
+        store_before = index._kernel_stores.get("labels")
+        assert store_before is not None
+
+        index.apply_batch(generate_update_batch(graph, volume=10, seed=4))
+        # The pre-update store is gone; the next query freezes a new one and
+        # answers from post-update state.
+        assert index._kernel_stores.get("labels") is None or (
+            index._kernel_stores["labels"] is not store_before
+        )
+        after = index.query_many(pairs)
+        assert index._kernel_stores["labels"] is not store_before
+        oracle = [dijkstra_distance(graph, s, t) for s, t in pairs]
+        assert all(
+            abs(a - b) <= 1e-6 * max(1.0, abs(b)) for a, b in zip(after, oracle)
+        )
+
+    def test_graph_snapshot_tracks_out_of_band_mutation(self):
+        graph = grid_road_network(6, 6, seed=1)
+        index = create_index("BiDijkstra", graph)
+        index.build()
+        # The snapshot search is a literal port of the live bidirectional one.
+        assert index.query(0, 35) == bidijkstra(graph, 0, 35)
+        # Mutate the graph directly — no apply_batch, no kernel invalidation.
+        u, v, w = next(iter(graph.edges()))
+        graph.set_edge_weight(u, v, w * 3.5)
+        assert index.query(0, 35) == bidijkstra(graph, 0, 35)
+
+    def test_serving_engine_never_reads_pre_freeze_store(self):
+        graph = grid_road_network(8, 8, seed=7)
+        index = create_index("MHL", graph)
+        with ServingEngine(index, cache_capacity=0) as engine:
+            pairs = _query_pairs(graph)[:10]
+            for s, t in pairs:
+                engine.serve(s, t)  # freezes epoch-0 stores
+            for seed in (11, 12):
+                engine.submit_batch(generate_update_batch(graph, volume=8, seed=seed))
+            assert engine.wait_for_maintenance(timeout=60)
+            for s, t in pairs:
+                result = engine.serve(s, t)
+                oracle = dijkstra_distance(engine.graph_at(result.epoch), s, t)
+                assert abs(result.distance - oracle) <= 1e-6 * max(1.0, abs(oracle))
+        assert engine.maintenance_errors == []
+
+
+class TestVectorizedBackend:
+    @needs_numpy
+    def test_numpy_batch_path_bit_identical_without_native_kernel(self, monkeypatch):
+        import repro.kernels.label_store as label_store_module
+
+        monkeypatch.setattr(label_store_module, "native_kernel", lambda: None)
+        graph = grid_road_network(8, 8, seed=3)
+        index = create_index("DH2H", graph)
+        index.build()
+        reference = create_index("DH2H", graph.copy(), use_kernels=False)
+        reference.build()
+        pairs = _query_pairs(graph)
+        store = index._label_store()
+        assert isinstance(store, LabelStore) and store.query_fn is None
+        assert index.query_many(pairs) == reference.query_many(pairs)
+        source = pairs[0][0]
+        targets = [t for _, t in pairs]
+        assert index.query_one_to_many(source, targets) == reference.query_one_to_many(
+            source, targets
+        )
+
+
+class TestKernelSpeedup:
+    @needs_numpy
+    def test_h2h_family_batch_at_least_2x_faster(self):
+        """Conservative CI bar; bench_kernels.py records the real (~5-10x) gap."""
+        base = grid_road_network(14, 14, seed=5)
+        fast = create_index("DH2H", base.copy())
+        fast.build()
+        reference = create_index("DH2H", base.copy(), use_kernels=False)
+        reference.build()
+        pairs = list(sample_query_pairs(base, 3000, seed=6))
+        fast.query_many(pairs[:4])  # freeze outside the timed region
+
+        start = time.perf_counter()
+        batch = fast.query_many(pairs)
+        fast_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        expected = reference.query_many(pairs)
+        reference_seconds = time.perf_counter() - start
+
+        assert batch == expected
+        assert fast_seconds > 0
+        assert reference_seconds / fast_seconds >= 2.0, (
+            f"kernel batch path only {reference_seconds / fast_seconds:.2f}x faster "
+            f"({reference_seconds:.4f}s reference vs {fast_seconds:.4f}s kernels)"
+        )
