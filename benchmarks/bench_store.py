@@ -1,0 +1,156 @@
+"""Snapshot persistence benchmark: rebuild vs. mmap-backed load, per method.
+
+Builds a medium grid analog, saves every method through ``repro.store`` and
+measures
+
+* ``build_seconds`` — full construction from the raw graph,
+* ``save_seconds`` — snapshot serialization,
+* ``load_seconds`` — ``load_index`` (graph reconstruction + state restore +
+  kernel-store reattachment), and
+* ``first_query_us`` — the first scalar query after the load (warm-start
+  latency: the reattached stores mean no re-freeze is paid),
+
+asserting along the way that the loaded index answers a query sample
+bit-identically to the rebuilt original.  The headline acceptance bar — a
+persisted medium index loads **≥ 10x faster** than it rebuilds — is asserted
+for the label-heavy methods (DH2H, PMHL, PostMHL) and recorded per method in
+``BENCH_store.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_store.py [--out BENCH_store.json]
+                                                    [--side 50]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Dict
+
+from repro.graph.generators import grid_road_network
+from repro.registry import create_index, get_spec
+from repro.store import load_index, save_index
+from repro.throughput.workload import sample_query_pairs
+
+#: All nine methods on quick-config construction parameters.
+SPECS = {
+    "BiDijkstra": get_spec("BiDijkstra"),
+    "DCH": get_spec("DCH"),
+    "DH2H": get_spec("DH2H"),
+    "MHL": get_spec("MHL"),
+    "TOAIN": get_spec("TOAIN", checkin_fraction=0.25),
+    "N-CH-P": get_spec("N-CH-P", num_partitions=4, seed=0),
+    "P-TD-P": get_spec("P-TD-P", num_partitions=4, seed=0),
+    "PMHL": get_spec("PMHL", num_partitions=4, seed=0),
+    "PostMHL": get_spec("PostMHL", bandwidth=12, expected_partitions=4),
+}
+
+#: Methods whose construction cost is dominated by contraction + label work —
+#: the ones the ≥10x load-vs-rebuild acceptance bar applies to.  (BiDijkstra
+#: has nothing to persist; the per-partition CH baselines build too little
+#: state for a 10x gap at this size.)
+HEAVY_METHODS = ("DH2H", "PMHL", "PostMHL")
+
+SPEEDUP_BAR = 10.0
+DEFAULT_SIDE = 50
+QUERY_SAMPLE = 50
+
+
+def _dir_bytes(path: str) -> int:
+    return sum(
+        os.path.getsize(os.path.join(path, name)) for name in os.listdir(path)
+    )
+
+
+def run(out_path: str, side: int = DEFAULT_SIDE) -> Dict[str, object]:
+    base = grid_road_network(side, side, seed=5)
+    pairs = list(sample_query_pairs(base, QUERY_SAMPLE, seed=3))
+    report: Dict[str, object] = {
+        "benchmark": "index snapshot persistence (repro.store)",
+        "graph": {
+            "kind": "grid",
+            "side": side,
+            "vertices": base.num_vertices,
+            "edges": base.num_edges,
+        },
+        "speedup_bar": SPEEDUP_BAR,
+        "heavy_methods": list(HEAVY_METHODS),
+        "python": platform.python_version(),
+        "methods": {},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench_store_") as tmp:
+        for name, spec in SPECS.items():
+            index = create_index(spec, base.copy())
+            start = time.perf_counter()
+            index.build()
+            build_seconds = time.perf_counter() - start
+            expected = index.query_many(pairs)
+            # Scalar-plane reference: BiDijkstra's scalar query differs from
+            # its batch plane in the last ulp (DESIGN.md §6), so the
+            # first-query check must compare within the scalar plane.
+            expected_scalar = index.query(*pairs[0])
+
+            path = os.path.join(tmp, name.replace("/", "_"))
+            start = time.perf_counter()
+            save_index(index, path)
+            save_seconds = time.perf_counter() - start
+
+            load_index(path)  # warm the page cache: measure load, not disk spin-up
+            start = time.perf_counter()
+            loaded = load_index(path)
+            load_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            first = loaded.query(*pairs[0])
+            first_query_us = 1e6 * (time.perf_counter() - start)
+            assert first == expected_scalar, name
+            assert loaded.query_many(pairs) == expected, name
+
+            entry = {
+                "build_seconds": build_seconds,
+                "save_seconds": save_seconds,
+                "load_seconds": load_seconds,
+                "first_query_us": first_query_us,
+                "snapshot_bytes": _dir_bytes(path),
+                "load_speedup": build_seconds / load_seconds,
+                "heavy": name in HEAVY_METHODS,
+            }
+            report["methods"][name] = entry
+            print(
+                f"{name:>10}: build {build_seconds:6.2f}s  save {save_seconds:5.2f}s  "
+                f"load {load_seconds:6.3f}s  ({entry['load_speedup']:5.1f}x, "
+                f"{entry['snapshot_bytes'] / 1e6:6.1f} MB, "
+                f"first query {first_query_us:6.1f} us)"
+            )
+
+    for name in HEAVY_METHODS:
+        speedup = report["methods"][name]["load_speedup"]
+        assert speedup >= SPEEDUP_BAR, (
+            f"{name}: loading must be >= {SPEEDUP_BAR}x faster than rebuilding, "
+            f"got {speedup:.1f}x"
+        )
+
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {out_path}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_store.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--side", type=int, default=DEFAULT_SIDE, help="grid side length"
+    )
+    args = parser.parse_args()
+    run(args.out, side=args.side)
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,9 @@ The package provides, in pure Python:
 * a typed method registry: per-method :class:`~repro.registry.IndexSpec`
   dataclasses and the :func:`~repro.registry.create_index` factory
   (:mod:`repro.registry`),
+* versioned index persistence: schema-versioned snapshots with mmap-backed
+  payloads, :func:`~repro.store.save_index` / :func:`~repro.store.load_index`
+  and warm-start serving (:mod:`repro.store`),
 * experiment drivers regenerating every table and figure of the evaluation
   (:mod:`repro.experiments`).
 
@@ -53,6 +56,11 @@ from repro.exceptions import (
     QueryRejectedError,
     ReproError,
     ServingError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotGraphMismatchError,
+    SnapshotUnsupportedError,
+    SnapshotVersionError,
     WorkloadError,
 )
 from repro.graph.generators import (
@@ -85,6 +93,7 @@ from repro.registry import (
     registered_methods,
     spec_from_config,
 )
+from repro.registry import load_index, save_index
 from repro.serving.admission import AdmissionController
 from repro.serving.cache import EpochDistanceCache
 from repro.serving.driver import MixedWorkloadReport, run_mixed_workload
@@ -111,6 +120,11 @@ __all__ = [
     "ServingError",
     "QueryRejectedError",
     "EngineStoppedError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotVersionError",
+    "SnapshotGraphMismatchError",
+    "SnapshotUnsupportedError",
     # Graph substrate
     "Graph",
     "grid_road_network",
@@ -146,6 +160,9 @@ __all__ = [
     "spec_from_config",
     "registered_methods",
     "PAPER_METHODS",
+    # Persistence
+    "save_index",
+    "load_index",
     # Partitioning
     "natural_cut_partition",
     "td_partition",

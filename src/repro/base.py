@@ -101,6 +101,9 @@ class DistanceIndex(abc.ABC):
         self.graph = graph
         self.build_seconds: float = 0.0
         self._built = False
+        #: The :class:`~repro.registry.IndexSpec` this index was created from
+        #: (set by ``create_index``); ``save_index`` persists its parameters.
+        self.spec = None
         self._stage_listener: Optional[Callable[[StageTiming], None]] = None
         #: Frozen-kernel switch: ``True`` answers queries through the flat
         #: array stores of ``repro.kernels``; ``False`` keeps the pure-Python
@@ -259,6 +262,54 @@ class DistanceIndex(abc.ABC):
             snapshot = GraphSnapshot.freeze(self.graph)
             self._graph_snapshot_cache = snapshot
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> Dict[str, object]:
+        """Serialize the built index state into a payload writer.
+
+        ``io`` is a :class:`repro.store.arrays.ArrayWriter`; implementations
+        compose the shared serializers of :mod:`repro.store.codec` and return
+        a JSON-able tree with embedded array references.  Everything the
+        query *and* maintenance paths read must be captured — a loaded index
+        answers queries bit-identically and accepts ``apply_batch`` exactly
+        like the original.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement snapshot persistence"
+        )
+
+    def from_state(self, state: Dict[str, object], io) -> None:
+        """Restore the structures serialized by :meth:`to_state`.
+
+        Called on a freshly created (unbuilt) index whose ``graph`` already
+        carries the snapshot's edge weights; ``io`` is an array reader over
+        the snapshot payload.  ``save_index``/``load_index`` own the
+        surrounding lifecycle (built flag, kernel epoch, store reattachment).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement snapshot persistence"
+        )
+
+    def _kernel_exports(self) -> Dict[str, Callable[[], object]]:
+        """Frozen stores worth persisting: ``{memo key: freezer}``.
+
+        ``save_index`` calls each freezer (forcing a freeze of the current
+        epoch if necessary) and writes the resulting store's arrays next to
+        the index state, so a loaded index answers its first query through
+        reattached stores instead of paying a re-freeze.  The base class
+        persists nothing; indexes override this with the stores behind their
+        default query path.
+        """
+        return {}
+
+    def _attach_kernel(self, key: str, store: object) -> None:
+        """Install a reattached frozen store under the current kernel epoch."""
+        if key == "__graph__":
+            self._graph_snapshot_cache = store
+        else:
+            self._kernel_stores[key] = store
 
     # ------------------------------------------------------------------
     # Shared helpers

@@ -79,6 +79,22 @@ class BiDijkstraIndex(DistanceIndex):
     def index_size(self) -> int:
         return 0
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> dict:
+        """Nothing beyond the graph (which every snapshot already carries)."""
+        return {}
+
+    def from_state(self, state: dict, io) -> None:
+        """Nothing to restore — the search runs directly on the live graph."""
+
+    def _kernel_exports(self):
+        # The CSR graph snapshot duplicates the graph payload (~2x for this
+        # index, whose only state *is* the graph) — accepted so the first
+        # post-load query skips the O(n+m) freeze like every other method.
+        return {"__graph__": self._graph_snapshot}
+
 
 @register_spec
 @dataclass(frozen=True)

@@ -285,6 +285,34 @@ class TOAINIndex(DistanceIndex):
             len(labels) for labels in self.core_labels.values()
         )
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> Dict[str, object]:
+        from repro.store.codec import pack_contraction, pack_pairs_csr
+
+        contraction = self._require_built()
+        return {
+            "contraction": pack_contraction(contraction, io),
+            "core_rank_threshold": int(self.core_rank_threshold),
+            "core_labels": pack_pairs_csr(
+                ((v, labels.items()) for v, labels in self.core_labels.items()), io
+            ),
+        }
+
+    def from_state(self, state: Dict[str, object], io) -> None:
+        from repro.store.codec import unpack_contraction, unpack_pairs_csr
+
+        self.contraction = unpack_contraction(state["contraction"], io)
+        self.core_rank_threshold = int(state["core_rank_threshold"])
+        self.core_labels = {
+            v: dict(pairs)
+            for v, pairs in unpack_pairs_csr(state["core_labels"], io).items()
+        }
+
+    def _kernel_exports(self):
+        return {"sub_core": self._sub_core_store, "hubs": self._hub_store}
+
 
 @register_spec
 @dataclass(frozen=True)

@@ -540,6 +540,60 @@ class PMHLIndex(DistanceIndex):
             + self.cross_labels.label_entry_count()
         )
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> Dict[str, object]:
+        """All five stages' structures; the cross-boundary contraction is not
+        stored — it is recomposed on load so its shortcut dicts keep sharing
+        the family/overlay dictionaries by reference (the property U-Stage 5
+        maintenance relies on)."""
+        from repro.store import codec
+
+        self._require_built()
+        return {
+            "partitioning": codec.pack_partitioning(self.partitioning, io),
+            "order": io.put_ints(self.order),
+            "family": codec.pack_family(self.family, io),
+            "overlay": codec.pack_overlay(self.overlay, io),
+            "extended_family": codec.pack_family(self.extended_family, io),
+            "boundary_distances": [
+                codec.pack_pair_table(table, io) for table in self.boundary_distances
+            ],
+            "cross_labels": codec.pack_labels(self.cross_labels, io),
+            "build_breakdown": dict(self.build_breakdown),
+        }
+
+    def from_state(self, state: Dict[str, object], io) -> None:
+        from repro.core.cross_boundary import compose_cross_boundary_contraction
+        from repro.store import codec
+
+        self.partitioning = codec.unpack_partitioning(
+            state["partitioning"], io, self.graph
+        )
+        self.order = io.get_list(state["order"])
+        self.family = codec.unpack_family(
+            state["family"], io, self.partitioning, self.order
+        )
+        self.overlay = codec.unpack_overlay(
+            state["overlay"], io, self.partitioning, self.family, self.order
+        )
+        self.extended_family = codec.unpack_family(
+            state["extended_family"], io, self.partitioning, self.order
+        )
+        self.boundary_distances = [
+            codec.unpack_pair_table(table, io) for table in state["boundary_distances"]
+        ]
+        composed = compose_cross_boundary_contraction(
+            self.partitioning, self.order, self.family, self.overlay
+        )
+        self.cross_tree = TreeDecomposition.from_contraction(composed, allow_forest=True)
+        self.cross_labels = codec.unpack_labels(state["cross_labels"], io, self.cross_tree)
+        self.build_breakdown = dict(state.get("build_breakdown", {}))
+
+    def _kernel_exports(self):
+        return {"cross_labels": self._cross_store}
+
     def stage_catalog(self) -> List[Dict[str, object]]:
         """Query stages in release order, with the update stage that releases each."""
         return [

@@ -538,6 +538,62 @@ class PostMHLIndex(DistanceIndex):
             + boundary_entries
         )
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> Dict[str, object]:
+        """Contraction, amalgamated labels, TD roots and boundary arrays.
+
+        Only the TD-partitioning's root list is stored: the subtree members,
+        boundaries and overlay set are fully determined by the roots and the
+        tree, which :meth:`TDPartitioning.from_roots` rebuilds on load.
+        """
+        from repro.store import codec
+
+        self._require_built()
+        disB_verts = list(self.disB)
+        disB_indptr = [0]
+        disB_data: List[float] = []
+        for v in disB_verts:
+            disB_data.extend(self.disB[v])
+            disB_indptr.append(len(disB_data))
+        return {
+            "contraction": codec.pack_contraction(self.contraction, io),
+            "labels": codec.pack_labels(self.labels, io),
+            "td_roots": io.put_ints(self.td.roots),
+            "disB_verts": io.put_ints(disB_verts),
+            "disB_indptr": io.put_ints(disB_indptr),
+            "disB_data": io.put_floats(disB_data),
+            "boundary_distances": [
+                codec.pack_pair_table(table, io) for table in self.boundary_distances
+            ],
+            "build_breakdown": dict(self.build_breakdown),
+        }
+
+    def from_state(self, state: Dict[str, object], io) -> None:
+        from repro.store import codec
+
+        self.contraction = codec.unpack_contraction(state["contraction"], io)
+        self.tree = TreeDecomposition.from_contraction(self.contraction)
+        self.td = TDPartitioning.from_roots(self.tree, io.get_list(state["td_roots"]))
+        self.labels = codec.unpack_labels(state["labels"], io, self.tree)
+        self.boundary_position = [
+            {b: j for j, b in enumerate(boundary)} for boundary in self.td.boundary
+        ]
+        verts = io.get_list(state["disB_verts"])
+        indptr = io.get_list(state["disB_indptr"])
+        data = io.get_list(state["disB_data"])
+        self.disB = {
+            v: data[indptr[i] : indptr[i + 1]] for i, v in enumerate(verts)
+        }
+        self.boundary_distances = [
+            codec.unpack_pair_table(table, io) for table in state["boundary_distances"]
+        ]
+        self.build_breakdown = dict(state.get("build_breakdown", {}))
+
+    def _kernel_exports(self):
+        return {"labels": self._label_store}
+
     @property
     def overlay_vertex_count(self) -> int:
         """Number of overlay vertices (reported in the paper's Figure 18)."""

@@ -59,6 +59,34 @@ class IndexStaleError(IndexError_):
     """Raised when a query stage is used while the corresponding index is stale."""
 
 
+class SnapshotError(ReproError):
+    """Base class for index-persistence (``repro.store``) errors."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """Raised when a snapshot is missing, truncated or structurally corrupt."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """Raised when a snapshot's schema version is not the one this code reads/writes."""
+
+    def __init__(self, found: object, expected: int):
+        super().__init__(
+            f"snapshot schema version {found!r} is not supported "
+            f"(this build reads/writes version {expected})"
+        )
+        self.found = found
+        self.expected = expected
+
+
+class SnapshotGraphMismatchError(SnapshotError):
+    """Raised when a snapshot's graph fingerprint does not match the supplied graph."""
+
+
+class SnapshotUnsupportedError(SnapshotError):
+    """Raised when an index (or index state) cannot be snapshotted."""
+
+
 class PartitioningError(ReproError):
     """Raised when a partitioning request cannot be satisfied."""
 

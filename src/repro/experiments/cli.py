@@ -3,18 +3,28 @@
 Usage::
 
     python -m repro.experiments <experiment-id> [--quick] [--output FILE]
+                                [--cache-dir DIR]
     python -m repro.experiments --list
+    python -m repro.experiments snapshot save --method PMHL --dataset NY --path DIR
+    python -m repro.experiments snapshot load --path DIR [--verify N]
+    python -m repro.experiments snapshot info --path DIR
 
 ``experiment-id`` is one of the keys of :data:`repro.experiments.EXPERIMENTS`
 (``table1``, ``exp1`` … ``exp9``, ``ablations``) or ``all``.  The driver's rows
 are printed as a plain-text table and optionally written to a CSV file.
+``--cache-dir`` enables the snapshot build cache (see
+:mod:`repro.experiments.build_cache`), so reruns and parameter sweeps skip
+redundant index construction; the ``snapshot`` subcommand manages standalone
+index snapshots (build-and-save, load-and-verify, inspect).
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import EXPERIMENTS
@@ -61,12 +71,109 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optional CSV file to write the result rows to",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="enable the snapshot build cache in this directory "
+        "(skips redundant index rebuilds across experiments and reruns)",
+    )
     return parser
 
 
+def build_snapshot_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments snapshot",
+        description="Build, persist, load and inspect index snapshots (repro.store).",
+    )
+    parser.add_argument("action", choices=("save", "load", "info"))
+    parser.add_argument("--path", required=True, help="snapshot directory")
+    parser.add_argument(
+        "--method", default="PMHL", help="registered method name (save only)"
+    )
+    parser.add_argument(
+        "--dataset", default="NY", help="synthetic dataset name (save only)"
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("npz", "json"),
+        help="payload backend (save only; default: npz with numpy, else json)",
+    )
+    parser.add_argument(
+        "--verify",
+        type=int,
+        default=0,
+        metavar="N",
+        help="after loading, cross-check N sampled queries against Dijkstra",
+    )
+    return parser
+
+
+def _snapshot_main(argv: Sequence[str]) -> int:
+    from repro.store import load_index, read_manifest, save_index
+
+    args = build_snapshot_parser().parse_args(argv)
+
+    if args.action == "info":
+        manifest = read_manifest(args.path)
+        print(json.dumps(manifest, indent=2))
+        return 0
+
+    if args.action == "save":
+        from repro.graph.generators import load_dataset
+        from repro.registry import create_index, spec_from_config
+
+        graph = load_dataset(args.dataset)
+        index = create_index(spec_from_config(args.method, DEFAULT_CONFIG), graph)
+        started = time.perf_counter()
+        index.build()
+        built = time.perf_counter() - started
+        save_index(index, args.path, backend=args.backend)
+        print(
+            f"saved {args.method} on {args.dataset} "
+            f"(n={graph.num_vertices}, built in {built:.2f}s) to {args.path}"
+        )
+        return 0
+
+    started = time.perf_counter()
+    index = load_index(args.path)
+    loaded = time.perf_counter() - started
+    print(
+        f"loaded {index.name} (n={index.graph.num_vertices}, "
+        f"size={index.index_size()}) in {loaded:.3f}s"
+    )
+    if args.verify > 0:
+        import math
+
+        from repro.algorithms.dijkstra import dijkstra_distance
+        from repro.throughput.workload import sample_query_pairs
+
+        pairs = list(sample_query_pairs(index.graph, args.verify, seed=1))
+        mismatches = 0
+        for source, target in pairs:
+            answer = index.query(source, target)
+            oracle = dijkstra_distance(index.graph, source, target)
+            # Label-based answers are bit-identical; BiDijkstra's split sum
+            # may differ from the unidirectional oracle in the last ulp.
+            if answer != oracle and not math.isclose(answer, oracle, rel_tol=1e-9):
+                mismatches += 1
+        print(f"verified {len(pairs)} queries against Dijkstra: {mismatches} mismatches")
+        return 1 if mismatches else 0
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "snapshot":
+        return _snapshot_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.cache_dir:
+        from repro.experiments.build_cache import set_cache_dir
+
+        set_cache_dir(args.cache_dir)
 
     if args.list_experiments or args.experiment is None:
         print("available experiments:")

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.build_cache import load_or_build
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import measure_throughput, prepare_dataset
-from repro.registry import create_index
+from repro.registry import get_spec
 
 
 def partition_number_rows(
@@ -25,11 +26,11 @@ def partition_number_rows(
     graph = prepare_dataset(dataset)
     rows: List[Dict[str, object]] = []
     for k in partition_numbers:
-        working = graph.copy()
-        index = create_index("PMHL", working, num_partitions=k, seed=config.seed)
-        index.build()
+        index = load_or_build(
+            get_spec("PMHL", num_partitions=k, seed=config.seed), graph
+        )
         result = measure_throughput(
-            "PMHL", dataset, config, graph=working, prebuilt=index
+            "PMHL", dataset, config, graph=index.graph, prebuilt=index
         )
         rows.append(
             {

@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.registry import create_index, experiment_methods, spec_from_config
+from repro.experiments.build_cache import load_or_build
+from repro.registry import experiment_methods, spec_from_config
 from repro.experiments.runner import prepare_dataset, prepare_workload
 from repro.graph.updates import generate_update_batch
 from repro.throughput.evaluator import ThroughputEvaluator
@@ -34,9 +35,8 @@ def qps_evolution_rows(
         query_sample_size=config.query_sample_size,
     )
     for method in methods:
-        working = graph.copy()
-        index = create_index(spec_from_config(method, config), working)
-        index.build()
+        index = load_or_build(spec_from_config(method, config), graph)
+        working = index.graph
         workload = prepare_workload(working, config)
         batch = generate_update_batch(working, config.update_volume, seed=config.seed)
         try:

@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.registry import create_index, experiment_methods, spec_from_config
+from repro.experiments.build_cache import load_or_build
+from repro.registry import experiment_methods, spec_from_config
 from repro.experiments.runner import measure_throughput, prepare_dataset
 
 
@@ -25,10 +26,8 @@ def parameter_sweep_rows(
     graph = prepare_dataset(dataset)
     rows: List[Dict[str, object]] = []
     for method in methods:
-        working = graph.copy()
-        index = create_index(spec_from_config(method, config), working)
         try:
-            index.build()
+            index = load_or_build(spec_from_config(method, config), graph)
         except NotImplementedError:  # pragma: no cover - defensive
             continue
 

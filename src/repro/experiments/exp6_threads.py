@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.registry import create_index, spec_from_config
+from repro.experiments.build_cache import load_or_build
+from repro.registry import spec_from_config
 from repro.experiments.runner import prepare_dataset, prepare_workload
 from repro.graph.updates import generate_update_batch
 from repro.throughput.evaluator import ThroughputEvaluator
@@ -29,9 +30,8 @@ def thread_sweep_rows(
     graph = prepare_dataset(dataset)
     rows: List[Dict[str, object]] = []
     for method in methods:
-        working = graph.copy()
-        index = create_index(spec_from_config(method, config), working)
-        index.build()
+        index = load_or_build(spec_from_config(method, config), graph)
+        working = index.graph
         workload = prepare_workload(working, config)
         batch = generate_update_batch(working, config.update_volume, seed=config.seed)
         report = index.apply_batch(batch)

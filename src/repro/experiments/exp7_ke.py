@@ -11,7 +11,8 @@ from typing import Dict, List, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import measure_throughput, prepare_dataset
-from repro.registry import create_index
+from repro.experiments.build_cache import load_or_build
+from repro.registry import get_spec
 
 
 def ke_sweep_rows(
@@ -23,13 +24,12 @@ def ke_sweep_rows(
     graph = prepare_dataset(dataset)
     rows: List[Dict[str, object]] = []
     for ke in expected_partitions_grid:
-        working = graph.copy()
-        index = create_index(
-            "PostMHL", working, bandwidth=config.bandwidth, expected_partitions=ke
+        index = load_or_build(
+            get_spec("PostMHL", bandwidth=config.bandwidth, expected_partitions=ke),
+            graph,
         )
-        index.build()
         result = measure_throughput(
-            "PostMHL", dataset, config, graph=working, prebuilt=index
+            "PostMHL", dataset, config, graph=index.graph, prebuilt=index
         )
         rows.append(
             {

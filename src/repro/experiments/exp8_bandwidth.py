@@ -14,7 +14,8 @@ from typing import Dict, List, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import measure_throughput, prepare_dataset, prepare_workload
-from repro.registry import create_index
+from repro.experiments.build_cache import load_or_build
+from repro.registry import get_spec
 
 
 def bandwidth_sweep_rows(
@@ -26,14 +27,15 @@ def bandwidth_sweep_rows(
     graph = prepare_dataset(dataset)
     rows: List[Dict[str, object]] = []
     for bandwidth in bandwidth_grid:
-        working = graph.copy()
-        index = create_index(
-            "PostMHL",
-            working,
-            bandwidth=bandwidth,
-            expected_partitions=config.expected_partitions,
+        index = load_or_build(
+            get_spec(
+                "PostMHL",
+                bandwidth=bandwidth,
+                expected_partitions=config.expected_partitions,
+            ),
+            graph,
         )
-        index.build()
+        working = index.graph
         workload = prepare_workload(working, config)
         q3_samples = []
         for source, target in list(workload)[: config.query_sample_size]:

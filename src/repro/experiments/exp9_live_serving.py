@@ -21,7 +21,8 @@ from typing import Dict, List, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import prepare_dataset, prepare_workload
-from repro.registry import create_index, spec_from_config
+from repro.experiments.build_cache import load_or_build
+from repro.registry import spec_from_config
 from repro.graph.updates import generate_update_batch, generate_update_stream
 from repro.serving.driver import run_mixed_workload
 from repro.serving.engine import ServingEngine
@@ -47,9 +48,8 @@ def live_serving_rows(
     base_graph = prepare_dataset(dataset)
     rows: List[Dict[str, object]] = []
     for method in methods:
-        graph = base_graph.copy()
-        index = create_index(spec_from_config(method, config), graph)
-        index.build()
+        index = load_or_build(spec_from_config(method, config), base_graph)
+        graph = index.graph
         workload = prepare_workload(graph, config)
 
         # Analytic bound first: installs one batch and times its stages.

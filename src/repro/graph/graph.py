@@ -215,11 +215,18 @@ class Graph:
     # Derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
-        """Return a deep structural copy of this graph."""
+        """Return a deep structural copy of this graph.
+
+        The copy carries the source's ``version`` counter forward: a holder
+        of a version-keyed snapshot that is handed the copy in place of the
+        original keeps monotonic staleness detection — the counter can never
+        jump *backwards* past a freeze point across the copy boundary.
+        """
         g = Graph()
         g._adj = {v: dict(nbrs) for v, nbrs in self._adj.items()}
         g._coords = dict(self._coords)
         g._num_edges = self._num_edges
+        g._version = self._version
         return g
 
     def subgraph(self, vertices: Iterable[int]) -> "Graph":

@@ -163,6 +163,22 @@ class CHIndex(DistanceIndex):
     def index_size(self) -> int:
         return self._require_built().shortcut_count()
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> Dict[str, object]:
+        from repro.store.codec import pack_contraction
+
+        return {"contraction": pack_contraction(self._require_built(), io)}
+
+    def from_state(self, state: Dict[str, object], io) -> None:
+        from repro.store.codec import unpack_contraction
+
+        self.contraction = unpack_contraction(state["contraction"], io)
+
+    def _kernel_exports(self):
+        return {"ch": self._shortcut_store}
+
     @property
     def rank(self) -> Dict[int, int]:
         """Vertex rank (ascending importance) used by the hierarchy."""

@@ -60,6 +60,25 @@ class GraphSnapshot:
         return v in self._pairs
 
     # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> dict:
+        """Serialize the frozen adjacency as CSR arrays (order-preserving)."""
+        from repro.store.codec import pack_pairs_csr
+
+        return {"kind": "graph_snapshot", **pack_pairs_csr(self._pairs.items(), io)}
+
+    @classmethod
+    def from_state(cls, state: dict, io, graph: Graph) -> "GraphSnapshot":
+        """Reattach a snapshot, re-keyed to the *loaded* graph's version."""
+        from repro.store.codec import unpack_pairs_csr
+
+        snapshot = cls.__new__(cls)
+        snapshot.version = graph.version
+        snapshot._pairs = unpack_pairs_csr(state, io)
+        return snapshot
+
+    # ------------------------------------------------------------------
     # Searches (bit-identical ports of repro.algorithms.dijkstra)
     # ------------------------------------------------------------------
     def bidijkstra(self, source: int, target: int) -> float:

@@ -64,6 +64,34 @@ class HubStore:
                 offset += 1
         return cls(row, len(core_slots), hub_indptr, hub_slots, hub_dists)
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> dict:
+        """Serialize the CSR hub table (row order preserved)."""
+        verts = sorted(self.row, key=self.row.get)
+        return {
+            "kind": "hub_store",
+            "verts": io.put_ints(verts),
+            "core_size": int(self.core_size),
+            "hub_indptr": io.put_array(self.hub_indptr),
+            "hub_slots": io.put_array(self.hub_slots),
+            "hub_dists": io.put_array(self.hub_dists),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, io) -> Optional["HubStore"]:
+        if np is None:
+            return None
+        row = {v: i for i, v in enumerate(io.get_list(state["verts"]))}
+        return cls(
+            row,
+            int(state["core_size"]),
+            io.get_array(state["hub_indptr"]),
+            io.get_array(state["hub_slots"]),
+            io.get_array(state["hub_dists"]),
+        )
+
     def join_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
         """Hub-join minimum from ``source`` to each target (``inf`` when none)."""
         row = self.row

@@ -167,6 +167,46 @@ class LabelStore:
         return cls(layout, dis_indptr, dis_data)
 
     # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> dict:
+        """Serialize the store (layout + distance CSR) into a payload writer.
+
+        Everything needed to answer queries is exported — including the
+        structure-derived LCA arrays — so :meth:`from_state` reattaches a
+        ready store without touching the tree decomposition.
+        """
+        layout = self.layout
+        return {
+            "kind": "label_store",
+            "verts": io.put_ints(layout.verts),
+            "comp": io.put_array(layout.comp),
+            "first": io.put_array(layout.first),
+            "logs": io.put_array(layout.logs),
+            "tbl_flat": io.put_array(layout.tbl_flat),
+            "tbl_off": io.put_array(layout.tbl_off),
+            "pos_indptr": io.put_array(layout.pos_indptr),
+            "pos_data": io.put_array(layout.pos_data),
+            "dis_indptr": io.put_array(self.dis_indptr),
+            "dis_data": io.put_array(self.dis_data),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, io) -> Optional["LabelStore"]:
+        """Rebuild a store from payload arrays (mmap-backed where possible)."""
+        if np is None:
+            return None
+        layout = LabelLayout.__new__(LabelLayout)
+        layout.version = -1  # detached from any tree's layout cache
+        layout.verts = io.get_list(state["verts"])
+        layout.row = {v: i for i, v in enumerate(layout.verts)}
+        for field in ("comp", "first", "logs", "tbl_flat", "tbl_off", "pos_indptr", "pos_data"):
+            setattr(layout, field, io.get_array(state[field]))
+        return cls(
+            layout, io.get_array(state["dis_indptr"]), io.get_array(state["dis_data"])
+        )
+
+    # ------------------------------------------------------------------
     # Scalar path (native backend)
     # ------------------------------------------------------------------
     def _make_scalar_query(self, kernel):

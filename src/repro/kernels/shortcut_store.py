@@ -42,6 +42,21 @@ class ShortcutStore:
     def has_vertex(self, v: int) -> bool:
         return v in self._pairs
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> dict:
+        """Serialize the upward adjacency as CSR arrays (order-preserving)."""
+        from repro.store.codec import pack_pairs_csr
+
+        return {"kind": "shortcut_store", **pack_pairs_csr(self._pairs.items(), io)}
+
+    @classmethod
+    def from_state(cls, state: dict, io) -> "ShortcutStore":
+        from repro.store.codec import unpack_pairs_csr
+
+        return cls(unpack_pairs_csr(state, io))
+
     def query(self, source: int, target: int) -> float:
         """Bidirectional upward search over the frozen shortcut arrays."""
         if source == target:

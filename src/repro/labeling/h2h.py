@@ -283,6 +283,34 @@ class H2HIndex(DistanceIndex):
         labels = self._require_built()
         return labels.label_entry_count() + self.contraction.shortcut_count()
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> Dict[str, object]:
+        """Contraction (shortcuts + supporters) and the label CSR arrays.
+
+        The tree decomposition and its LCA oracle are *not* stored: they are
+        derived from the contraction in O(n·h) on load, which is negligible
+        next to the contraction and label-construction work being skipped.
+        """
+        from repro.store.codec import pack_contraction, pack_labels
+
+        labels = self._require_built()
+        return {
+            "contraction": pack_contraction(self.contraction, io),
+            "labels": pack_labels(labels, io),
+        }
+
+    def from_state(self, state: Dict[str, object], io) -> None:
+        from repro.store.codec import unpack_contraction, unpack_labels
+
+        self.contraction = unpack_contraction(state["contraction"], io)
+        self.tree = TreeDecomposition.from_contraction(self.contraction)
+        self.labels = unpack_labels(state["labels"], io, self.tree)
+
+    def _kernel_exports(self):
+        return {"labels": self._label_store}
+
     @property
     def tree_height(self) -> int:
         self._require_built()

@@ -61,15 +61,19 @@ class MHLIndex(DH2HIndex):
             return snapshot.bidijkstra(source, target)
         return bidijkstra(self.graph, source, target)
 
-    def query_ch(self, source: int, target: int) -> float:
-        """Stage-2 query: CH search over the shortcut arrays ``X(v).sc``."""
-        self._require_built()
-        store = self._kernel(
+    def _ch_store(self):
+        """Frozen stage-2 shortcut adjacency of this epoch (``None`` = pure path)."""
+        return self._kernel(
             "ch",
             lambda: ShortcutStore.freeze(
                 lambda v: self.contraction.shortcuts[v], self.contraction.order
             ),
         )
+
+    def query_ch(self, source: int, target: int) -> float:
+        """Stage-2 query: CH search over the shortcut arrays ``X(v).sc``."""
+        self._require_built()
+        store = self._ch_store()
         if store is not None:
             return store.query(source, target)
         return ch_bidirectional_query(
@@ -128,6 +132,16 @@ class MHLIndex(DH2HIndex):
         self.last_changed_shortcuts = changed_shortcuts
         self.last_changed_labels = changed_labels
         return report
+
+    # ------------------------------------------------------------------
+    # Snapshot persistence: the DH2H state covers MHL (the CH stage reads
+    # the same contraction); additionally persist the stage-2 store so a
+    # warm-started engine can serve every stage without a re-freeze.
+    # ------------------------------------------------------------------
+    def _kernel_exports(self):
+        exports = dict(super()._kernel_exports())
+        exports["ch"] = self._ch_store
+        return exports
 
     # ------------------------------------------------------------------
     # Stage metadata for the throughput simulator

@@ -43,6 +43,29 @@ class TDPartitioning:
     def num_partitions(self) -> int:
         return len(self.roots)
 
+    @classmethod
+    def from_roots(cls, tree: TreeDecomposition, roots: List[int]) -> "TDPartitioning":
+        """Materialise the partitioning implied by chosen subtree roots.
+
+        The roots fully determine the partitioning (members = subtree,
+        boundary = the root's tree-node neighbour set, overlay = everything
+        else), so this is both the tail of :func:`td_partition` and the way
+        snapshots reconstruct a ``TDPartitioning`` from the stored root list.
+        """
+        result = cls(tree=tree, roots=list(roots))
+        vertex_partition: Dict[int, Optional[int]] = {v: None for v in tree.parent}
+        for pid, root in enumerate(result.roots):
+            members = sorted(tree.subtree(root))
+            result.partition_vertices.append(members)
+            result.boundary.append(sorted(tree.neighbors(root)))
+            for v in members:
+                vertex_partition[v] = pid
+        result.vertex_partition = vertex_partition
+        result.overlay_vertices = {
+            v for v, pid in vertex_partition.items() if pid is None
+        }
+        return result
+
     def partition_of(self, v: int) -> Optional[int]:
         """Partition id of ``v`` or ``None`` when ``v`` is an overlay vertex."""
         return self.vertex_partition[v]
@@ -137,14 +160,4 @@ def td_partition(
         if independent:
             roots.append(v)
 
-    result = TDPartitioning(tree=tree, roots=roots)
-    vertex_partition: Dict[int, Optional[int]] = {v: None for v in tree.parent}
-    for pid, root in enumerate(roots):
-        members = sorted(tree.subtree(root))
-        result.partition_vertices.append(members)
-        result.boundary.append(sorted(tree.neighbors(root)))
-        for v in members:
-            vertex_partition[v] = pid
-    result.vertex_partition = vertex_partition
-    result.overlay_vertices = {v for v, pid in vertex_partition.items() if pid is None}
-    return result
+    return TDPartitioning.from_roots(tree, roots)

@@ -404,6 +404,44 @@ class NoBoundaryPSPIndex(DistanceIndex):
         self._require_built()
         return self.family.index_size() + self.overlay.index_size()
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence (see repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> Dict[str, object]:
+        """Partition assignment, global order, family and overlay structures.
+
+        The overlay graph is stored explicitly (it is maintained
+        incrementally and can legitimately differ from a fresh
+        ``build_overlay_graph``); the per-partition graphs travel inside the
+        family payload.
+        """
+        from repro.store import codec
+
+        self._require_built()
+        return {
+            "partitioning": codec.pack_partitioning(self.partitioning, io),
+            "order": io.put_ints(self.order),
+            "family": codec.pack_family(self.family, io),
+            "overlay": codec.pack_overlay(self.overlay, io),
+        }
+
+    def from_state(self, state: Dict[str, object], io) -> None:
+        from repro.store import codec
+
+        self.partitioning = codec.unpack_partitioning(
+            state["partitioning"], io, self.graph
+        )
+        self.order = io.get_list(state["order"])
+        self.family = codec.unpack_family(
+            state["family"], io, self.partitioning, self.order
+        )
+        self.overlay = codec.unpack_overlay(
+            state["overlay"], io, self.partitioning, self.family, self.order
+        )
+
+    def _kernel_exports(self):
+        return {"overlay": self._overlay_store}
+
 
 class NCHPIndex(NoBoundaryPSPIndex):
     """The paper's **N-CH-P** baseline: no-boundary PSP with DCH underlying."""

@@ -218,6 +218,32 @@ class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
     def index_size(self) -> int:
         return super().index_size() + self.extended_family.index_size()
 
+    # ------------------------------------------------------------------
+    # Snapshot persistence: the no-boundary state plus the extended
+    # partitions (whose boundary-pair edges exist nowhere else) and the
+    # boundary distance tables used for update change detection.
+    # ------------------------------------------------------------------
+    def to_state(self, io) -> Dict[str, object]:
+        from repro.store import codec
+
+        state = super().to_state(io)
+        state["extended_family"] = codec.pack_family(self.extended_family, io)
+        state["boundary_distances"] = [
+            codec.pack_pair_table(table, io) for table in self.boundary_distances
+        ]
+        return state
+
+    def from_state(self, state: Dict[str, object], io) -> None:
+        from repro.store import codec
+
+        super().from_state(state, io)
+        self.extended_family = codec.unpack_family(
+            state["extended_family"], io, self.partitioning, self.order
+        )
+        self.boundary_distances = [
+            codec.unpack_pair_table(table, io) for table in state["boundary_distances"]
+        ]
+
 
 class PTDPIndex(PostBoundaryPSPIndex):
     """The paper's **P-TD-P** baseline: post-boundary PSP with DH2H underlying."""

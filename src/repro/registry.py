@@ -30,6 +30,11 @@ from typing import ClassVar, Dict, List, Mapping, Tuple, Type, Union
 from repro.base import DistanceIndex
 from repro.graph.graph import Graph
 
+# Persistence is part of the registry surface: a spec is the construction
+# recipe, a snapshot the construction *result* — save/load live in
+# repro.store and are re-exported here verbatim (single signature source).
+from repro.store import load_index as load_index, save_index as save_index
+
 
 @dataclass(frozen=True)
 class IndexSpec:
@@ -162,8 +167,10 @@ def create_index(
         spec = get_spec(spec_or_name, **overrides)
     index = spec.create(graph)
     # The kernel switch is carried by the base spec so every method gets it
-    # without each concrete ``create`` having to forward it.
+    # without each concrete ``create`` having to forward it; the spec itself
+    # rides along so ``save_index`` can persist the construction recipe.
     index.use_kernels = spec.use_kernels
+    index.spec = spec
     return index
 
 

@@ -202,6 +202,75 @@ class ServingEngine:
     def current_epoch(self) -> int:
         return self._epoch
 
+    def export_snapshot(
+        self, path: str, timeout: Optional[float] = None, **save_kwargs
+    ) -> int:
+        """Persist the served index as an epoch-consistent on-disk snapshot.
+
+        The export runs under *read* acquisitions of both engine locks, so it
+        proceeds concurrently with queries but never alongside an update
+        batch.  Holding the read locks alone is not enough: the maintenance
+        worker reopens the index lock at every stage boundary (the grace
+        windows), where the structures are only *stage*-consistent.  The loop
+        below therefore re-acquires until it holds both locks with zero
+        batches pending — i.e. at a closed epoch — and only then serializes.
+        Returns the epoch the snapshot captured; the manifest records it
+        under ``extras.epoch``.  Works on a stopped engine too.
+
+        Under a sustained update stream a quiescent point may never arrive on
+        its own; pass ``timeout`` (seconds) to bound the wait — on expiry a
+        :class:`~repro.exceptions.ServingError` is raised and nothing is
+        written.
+        """
+        from repro.store import save_index
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            # Pending batches always drain: queued items precede the _STOP
+            # sentinel, so the worker finishes them even during/after a
+            # ``stop(drain=False)``, and ``submit_batch`` rejects new work on
+            # a stopped engine.  Only zero-pending is an acceptable export
+            # point — ``_running`` alone says nothing about a batch the
+            # worker already dequeued.
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if not self.wait_for_maintenance(remaining):
+                raise ServingError(
+                    f"export_snapshot timed out after {timeout}s waiting for "
+                    "the update stream to quiesce"
+                )
+            self._index_rw.acquire_read()
+            self._graph_rw.acquire_read()
+            if self.pending_batches == 0:
+                break
+            # A batch slipped in between the drain and the lock acquisition
+            # (we may be inside one of its grace windows) — retry.
+            self._graph_rw.release_read()
+            self._index_rw.release_read()
+        try:
+            epoch = self._epoch
+            extras = dict(save_kwargs.pop("extras", None) or {})
+            extras["epoch"] = epoch
+            save_index(self.index, path, extras=extras, **save_kwargs)
+        finally:
+            self._graph_rw.release_read()
+            self._index_rw.release_read()
+        return epoch
+
+    @classmethod
+    def from_snapshot(
+        cls, path: str, graph: Optional[Graph] = None, **engine_kwargs
+    ) -> "ServingEngine":
+        """Warm-start an engine from a snapshot instead of rebuilding.
+
+        ``load_index`` reconstructs (or fingerprint-verifies) the graph and
+        reattaches the frozen kernel stores, so the engine is ready to serve
+        its first query without paying the construction cost the snapshot
+        captured.  ``engine_kwargs`` are forwarded to the constructor.
+        """
+        from repro.store import load_index
+
+        return cls(load_index(path, graph=graph), **engine_kwargs)
+
     def graph_at(self, epoch: int) -> Graph:
         """Graph snapshot of ``epoch`` (for per-epoch correctness oracles)."""
         with self._state:

@@ -1,0 +1,40 @@
+"""repro.store — versioned index persistence and mmap-backed snapshot loading.
+
+The subsystem turns every built :class:`~repro.base.DistanceIndex` into a
+durable artifact: :func:`save_index` writes a schema-versioned snapshot
+directory (JSON manifest + flat-array payload), :func:`load_index` restores a
+ready-to-serve index — reconstructing or fingerprint-verifying the graph,
+honoring :class:`~repro.registry.IndexSpec` overrides, and reattaching the
+frozen kernel stores so the first query after a load already runs at full
+speed.  See DESIGN.md §8 for the format and lifecycle.
+"""
+
+from repro.exceptions import (
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotGraphMismatchError,
+    SnapshotUnsupportedError,
+    SnapshotVersionError,
+)
+from repro.store.snapshot import (
+    FORMAT,
+    SCHEMA_VERSION,
+    graph_fingerprint,
+    load_index,
+    read_manifest,
+    save_index,
+)
+
+__all__ = [
+    "FORMAT",
+    "SCHEMA_VERSION",
+    "save_index",
+    "load_index",
+    "read_manifest",
+    "graph_fingerprint",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotVersionError",
+    "SnapshotGraphMismatchError",
+    "SnapshotUnsupportedError",
+]

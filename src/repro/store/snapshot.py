@@ -1,0 +1,282 @@
+"""Schema-versioned on-disk snapshots of built distance indexes.
+
+A snapshot is a directory::
+
+    <path>/
+      manifest.json   -- format tag, schema version, method + spec params,
+                         graph fingerprint, payload backend (written last:
+                         its presence marks a complete snapshot)
+      state.json      -- the JSON state tree produced by ``to_state`` with
+                         embedded array references
+      payload.npz     -- flat arrays (numpy backend; mmap-read on load)
+      payload.json    -- flat arrays (pure-Python fallback backend)
+
+``save_index`` captures everything the query *and* maintenance paths read,
+plus the frozen kernel stores behind the index's default query path, so a
+loaded index serves its first query at full speed and accepts update batches
+exactly like the original.  ``load_index`` reverses it: spec resolution
+through the registry (keyword overrides welcome), graph reconstruction or
+fingerprint verification, ``from_state``, then kernel-store reattachment.
+
+Failure modes are typed (:mod:`repro.exceptions`): a truncated or missing
+payload raises :class:`SnapshotFormatError`, a schema mismatch
+:class:`SnapshotVersionError`, and a graph that does not match the snapshot's
+fingerprint :class:`SnapshotGraphMismatchError` — never a silently wrong
+distance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from repro.base import DistanceIndex
+from repro.exceptions import (
+    SnapshotFormatError,
+    SnapshotGraphMismatchError,
+    SnapshotUnsupportedError,
+    SnapshotVersionError,
+)
+from repro.graph.graph import Graph
+from repro.store.arrays import ArrayWriter, open_payload
+from repro.store.codec import (
+    pack_graph,
+    pack_kernel_store,
+    unpack_graph,
+    unpack_kernel_store,
+)
+
+FORMAT = "repro-index-snapshot"
+SCHEMA_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_STATE = "state.json"
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Deterministic digest of a graph's exact topology and weights.
+
+    Weights are hashed through ``repr`` (shortest round-trip form), so two
+    graphs fingerprint equal iff they are bit-identical; vertex and edge
+    enumeration is sorted, so adjacency iteration order does not matter.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"v{graph.num_vertices};e{graph.num_edges};".encode())
+    for v in sorted(graph.vertices()):
+        digest.update(f"n{v};".encode())
+    for u, v, w in sorted(graph.edges()):
+        digest.update(f"{u},{v},{w!r};".encode())
+    return "sha256:" + digest.hexdigest()
+
+
+def _spec_for(index: DistanceIndex):
+    if index.spec is not None:
+        return index.spec
+    from repro.registry import spec_class
+
+    try:
+        cls = spec_class(index.name)
+    except ValueError as exc:
+        raise SnapshotUnsupportedError(
+            f"index {type(index).__name__} (name={index.name!r}) is not a "
+            "registered method and carries no spec; snapshots cover the "
+            "registry's methods"
+        ) from exc
+    # Directly-constructed index (no registry spec attached): reconstruct the
+    # recipe from the instance itself.  Every spec field mirrors a same-named
+    # constructor attribute, so the manifest records the parameters the index
+    # was actually built with, not the method defaults.
+    params = {
+        field.name: getattr(index, field.name)
+        for field in dataclasses.fields(cls)
+        if hasattr(index, field.name)
+    }
+    return cls(**params)
+
+
+def save_index(
+    index: DistanceIndex,
+    path: str,
+    backend: Optional[str] = None,
+    extras: Optional[Dict[str, object]] = None,
+) -> str:
+    """Persist a built index (and its graph) as a snapshot directory.
+
+    Parameters
+    ----------
+    index:
+        Any built, registry-created :class:`~repro.base.DistanceIndex`.
+    path:
+        Snapshot directory (created if missing, files overwritten).
+    backend:
+        Payload backend: ``"npz"`` (default with numpy) or ``"json"``
+        (pure-Python fallback, always available).
+    extras:
+        Optional JSON-able metadata recorded in the manifest (e.g. the
+        serving engine's epoch).
+    """
+    if not index.is_built:
+        raise SnapshotUnsupportedError("only built indexes can be snapshotted")
+    spec = _spec_for(index)
+    writer = ArrayWriter(backend)
+
+    state: Dict[str, object] = {
+        "graph": pack_graph(index.graph, writer),
+        "index": index.to_state(writer),
+    }
+    kernels: Dict[str, object] = {}
+    if index.use_kernels:
+        for key, freezer in index._kernel_exports().items():
+            store = freezer()
+            if store is None:
+                continue
+            packed = pack_kernel_store(store, writer)
+            if packed is not None:
+                kernels[key] = packed
+    if kernels:
+        state["kernels"] = kernels
+
+    os.makedirs(path, exist_ok=True)
+    # Invalidate any existing snapshot *before* touching its files: payload
+    # array names are deterministic (a0000, ...), so a crash mid-overwrite
+    # must never leave an old manifest pairing old refs with new bytes —
+    # without a manifest the directory reads as SnapshotFormatError, typed.
+    manifest_path = os.path.join(path, _MANIFEST)
+    if os.path.exists(manifest_path):
+        os.remove(manifest_path)
+    payload_name = writer.write(path)
+    with open(os.path.join(path, _STATE), "w") as handle:
+        json.dump(state, handle)
+    manifest = {
+        "format": FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "method": spec.method,
+        "spec": dataclasses.asdict(spec),
+        "payload": payload_name,
+        "payload_backend": writer.backend,
+        "state_file": _STATE,
+        "graph": {
+            "num_vertices": index.graph.num_vertices,
+            "num_edges": index.graph.num_edges,
+            "fingerprint": graph_fingerprint(index.graph),
+        },
+        "index": {
+            "name": index.name,
+            "build_seconds": index.build_seconds,
+            "index_size": index.index_size(),
+        },
+        "created_unix": time.time(),
+    }
+    if extras:
+        manifest["extras"] = extras
+    # The manifest goes last: its presence marks a complete snapshot.
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return path
+
+
+def read_manifest(path: str) -> Dict[str, object]:
+    """Read and validate a snapshot's manifest (format + schema version)."""
+    manifest_path = os.path.join(path, _MANIFEST)
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except OSError as exc:
+        raise SnapshotFormatError(
+            f"{path!r} is not a snapshot directory (no readable manifest): {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise SnapshotFormatError(f"corrupt snapshot manifest {manifest_path!r}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT:
+        raise SnapshotFormatError(
+            f"{manifest_path!r} is not a {FORMAT} manifest"
+        )
+    if manifest.get("schema_version") != SCHEMA_VERSION:
+        raise SnapshotVersionError(manifest.get("schema_version"), SCHEMA_VERSION)
+    return manifest
+
+
+def load_index(
+    path: str,
+    graph: Optional[Graph] = None,
+    mmap: bool = True,
+    **overrides: object,
+) -> DistanceIndex:
+    """Load a snapshot back into a ready-to-serve index.
+
+    Parameters
+    ----------
+    path:
+        Snapshot directory written by :func:`save_index`.
+    graph:
+        Optional live graph to build the index on.  It must fingerprint
+        exactly as the snapshot's graph (else
+        :class:`~repro.exceptions.SnapshotGraphMismatchError`); when omitted
+        the graph is reconstructed from the snapshot.
+    mmap:
+        Attach mmap-backed views onto the npz payload where possible.
+    overrides:
+        Spec parameter overrides (validated against the method's
+        :class:`~repro.registry.IndexSpec`), e.g. ``use_kernels=False``.
+    """
+    from repro.registry import get_spec
+
+    manifest = read_manifest(path)
+    try:
+        method = manifest["method"]
+        saved_params = dict(manifest["spec"])
+        payload_name = manifest["payload"]
+        payload_backend = manifest["payload_backend"]
+        graph_meta = manifest["graph"]
+    except KeyError as exc:
+        raise SnapshotFormatError(f"snapshot manifest is missing field {exc}") from None
+    saved_params.update(overrides)
+    spec = get_spec(method, **saved_params)
+
+    reader = open_payload(path, payload_name, payload_backend, mmap=mmap)
+    state_path = os.path.join(path, manifest.get("state_file", _STATE))
+    try:
+        with open(state_path) as handle:
+            state = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SnapshotFormatError(f"unreadable snapshot state {state_path!r}: {exc}") from exc
+
+    if graph is not None:
+        found = graph_fingerprint(graph)
+        if found != graph_meta.get("fingerprint"):
+            raise SnapshotGraphMismatchError(
+                f"supplied graph (fingerprint {found}) does not match the "
+                f"snapshot's graph ({graph_meta.get('fingerprint')}); "
+                "the snapshot's labels would answer wrong distances"
+            )
+    else:
+        try:
+            graph = unpack_graph(state["graph"], reader)
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise SnapshotFormatError(f"corrupt snapshot graph payload: {exc}") from exc
+
+    index = spec.create(graph)
+    index.use_kernels = spec.use_kernels
+    index.spec = spec
+    try:
+        index.from_state(state["index"], reader)
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise SnapshotFormatError(f"corrupt snapshot index payload: {exc}") from exc
+    index._built = True
+    index.build_seconds = manifest.get("index", {}).get("build_seconds", 0.0)
+    index.invalidate_kernels()
+    if index.use_kernels:
+        try:
+            for key, packed in state.get("kernels", {}).items():
+                store = unpack_kernel_store(packed, reader, index.graph)
+                if store is not None:
+                    index._attach_kernel(key, store)
+        except (AttributeError, KeyError, IndexError, TypeError, ValueError) as exc:
+            raise SnapshotFormatError(
+                f"corrupt snapshot kernel payload: {exc}"
+            ) from exc
+    return index

@@ -182,3 +182,76 @@ class TestCoordinates:
         assert 2 in graph
         assert 5 not in graph
         assert len(graph) == 3
+
+
+class TestVersionCounter:
+    """Every mutation path reachable from ``graph.updates`` must bump
+    ``Graph.version`` — the counter frozen ``GraphSnapshot``\\ s key their
+    staleness detection to (the regression suite for out-of-band edits)."""
+
+    def test_every_mutator_bumps(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 2.0)
+        version = graph.version
+        graph.add_vertex(9)
+        assert graph.version > version
+        version = graph.version
+        graph.add_edge(1, 2, 4.0)
+        assert graph.version > version
+        version = graph.version
+        graph.set_edge_weight(0, 1, 3.0)
+        assert graph.version > version
+        version = graph.version
+        # min-semantics improvement of an existing edge is a weight change
+        graph.add_edge(0, 1, 1.0)
+        assert graph.version > version
+        version = graph.version
+        graph.remove_edge(1, 2)
+        assert graph.version > version
+        version = graph.version
+        graph.remove_vertex(9)
+        assert graph.version > version
+
+    def test_noop_mutations_do_not_bump(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 2.0)
+        version = graph.version
+        graph.add_vertex(0)  # already present
+        graph.add_edge(0, 1, 5.0)  # min-semantics keeps the lighter weight
+        assert graph.version == version
+
+    def test_batch_apply_and_revert_bump(self):
+        from repro.graph.updates import EdgeUpdate, UpdateBatch
+
+        graph = Graph(3)
+        graph.add_edge(0, 1, 2.0)
+        graph.add_edge(1, 2, 4.0)
+        batch = UpdateBatch([EdgeUpdate(0, 1, 2.0, 6.0), EdgeUpdate(1, 2, 4.0, 1.0)])
+        version = graph.version
+        batch.apply(graph)
+        assert graph.version > version
+        version = graph.version
+        batch.revert(graph)
+        assert graph.version > version
+
+    def test_copy_preserves_version(self):
+        graph = Graph(2)
+        graph.add_edge(0, 1, 2.0)
+        copied = graph.copy()
+        assert copied.version == graph.version
+        copied.set_edge_weight(0, 1, 9.0)
+        assert copied.version > graph.version
+
+    def test_out_of_band_edit_invalidates_frozen_snapshot(self):
+        """A weight edit outside ``apply_batch`` must refreeze the CSR
+        snapshot before the next query — never serve a stale distance."""
+        from repro.baselines.bidijkstra_index import BiDijkstraIndex
+
+        graph = Graph(3)
+        graph.add_edge(0, 1, 2.0)
+        graph.add_edge(1, 2, 4.0)
+        index = BiDijkstraIndex(graph)
+        index.build()
+        assert index.query(0, 2) == 6.0  # freezes the snapshot
+        graph.set_edge_weight(1, 2, 10.0)  # out of band: no apply_batch
+        assert index.query(0, 2) == 12.0

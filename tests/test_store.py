@@ -1,0 +1,504 @@
+"""Persistence suite for ``repro.store`` (see DESIGN.md §8).
+
+The contract under test:
+
+* every registered method round-trips through ``save_index``/``load_index``
+  with **bit-identical** scalar / ``query_many`` / ``query_one_to_many``
+  results — freshly built and after ``apply_batch``;
+* a loaded index is a full peer of the original: it accepts further update
+  batches (the kernel epoch advances, reattached stores are invalidated) and
+  keeps answering exactly like the original under the same updates;
+* ``IndexSpec`` overrides are honored on load (``use_kernels=False`` flips a
+  loaded index onto the pure reference path) and unknown overrides fail fast;
+* corruption and version skew raise *typed* errors — a truncated payload, a
+  schema-version mismatch and a graph-fingerprint mismatch each surface as
+  their own ``repro.exceptions`` class instead of wrong distances;
+* the serving engine exports epoch-consistent snapshots and warm-starts from
+  them, and the experiment build cache reuses snapshots correctly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - the no-numpy CI job
+    numpy = None
+
+from repro.algorithms.dijkstra import dijkstra_distance
+from repro.exceptions import (
+    SnapshotFormatError,
+    SnapshotGraphMismatchError,
+    SnapshotUnsupportedError,
+    SnapshotVersionError,
+)
+from repro.graph.generators import grid_road_network
+from repro.graph.updates import generate_update_batch
+from repro.registry import create_index, get_spec
+from repro.serving.engine import ServingEngine
+from repro.store import (
+    graph_fingerprint,
+    load_index,
+    read_manifest,
+    save_index,
+)
+from repro.throughput.workload import sample_query_pairs
+
+#: All nine registered methods with small-graph construction parameters.
+NINE_SPECS = {
+    "BiDijkstra": get_spec("BiDijkstra"),
+    "DCH": get_spec("DCH"),
+    "DH2H": get_spec("DH2H"),
+    "MHL": get_spec("MHL"),
+    "TOAIN": get_spec("TOAIN", checkin_fraction=0.25),
+    "N-CH-P": get_spec("N-CH-P", num_partitions=4, seed=0),
+    "P-TD-P": get_spec("P-TD-P", num_partitions=4, seed=0),
+    "PMHL": get_spec("PMHL", num_partitions=4, seed=0),
+    "PostMHL": get_spec("PostMHL", bandwidth=10, expected_partitions=4),
+}
+
+GRID_SIDE = 8
+UPDATE_VOLUME = 12
+
+
+def _base_graph():
+    return grid_road_network(GRID_SIDE, GRID_SIDE, seed=5)
+
+
+def _query_pairs(graph):
+    pairs = list(sample_query_pairs(graph, 40, seed=3))
+    return pairs + [(0, 0), (0, 5), (0, 9), (0, 13)]
+
+
+def _assert_equivalent(original, loaded, pairs):
+    """Scalar, one-to-many and pair-batch answers must match bit-for-bit."""
+    assert original.query_many(pairs) == loaded.query_many(pairs)
+    source = pairs[0][0]
+    targets = [t for _, t in pairs]
+    assert original.query_one_to_many(source, targets) == loaded.query_one_to_many(
+        source, targets
+    )
+    sample = pairs[:10]
+    assert [original.query(s, t) for s, t in sample] == [
+        loaded.query(s, t) for s, t in sample
+    ]
+
+
+@pytest.fixture(scope="module")
+def built_indexes():
+    """Every method built once on the same grid (module-shared, read-mostly)."""
+    base = _base_graph()
+    built = {}
+    for name, spec in NINE_SPECS.items():
+        index = create_index(spec, base.copy())
+        index.build()
+        built[name] = index
+    return built
+
+
+@pytest.fixture(scope="module")
+def snapshot_dirs(built_indexes, tmp_path_factory):
+    root = tmp_path_factory.mktemp("snapshots")
+    paths = {}
+    for name, index in built_indexes.items():
+        path = str(root / name.replace("/", "_"))
+        save_index(index, path)
+        paths[name] = path
+    return paths
+
+
+class TestRoundTripFresh:
+    @pytest.mark.parametrize("method", sorted(NINE_SPECS))
+    def test_bit_identical_queries(self, built_indexes, snapshot_dirs, method):
+        original = built_indexes[method]
+        loaded = load_index(snapshot_dirs[method])
+        _assert_equivalent(original, loaded, _query_pairs(original.graph))
+
+    @pytest.mark.parametrize("method", sorted(NINE_SPECS))
+    def test_loaded_metadata(self, built_indexes, snapshot_dirs, method):
+        original = built_indexes[method]
+        loaded = load_index(snapshot_dirs[method])
+        assert loaded.is_built
+        assert loaded.name == original.name
+        assert loaded.index_size() == original.index_size()
+        assert loaded.graph.num_vertices == original.graph.num_vertices
+        assert loaded.graph.num_edges == original.graph.num_edges
+        assert graph_fingerprint(loaded.graph) == graph_fingerprint(original.graph)
+
+    @pytest.mark.parametrize("method", sorted(NINE_SPECS))
+    def test_load_onto_supplied_graph(self, built_indexes, snapshot_dirs, method):
+        """A caller-supplied graph with matching fingerprint is accepted."""
+        original = built_indexes[method]
+        graph = original.graph.copy()
+        loaded = load_index(snapshot_dirs[method], graph=graph)
+        assert loaded.graph is graph
+        _assert_equivalent(original, loaded, _query_pairs(graph)[:20])
+
+    def test_manifest_contents(self, snapshot_dirs):
+        manifest = read_manifest(snapshot_dirs["PMHL"])
+        assert manifest["method"] == "PMHL"
+        assert manifest["spec"]["num_partitions"] == 4
+        assert manifest["graph"]["num_vertices"] == GRID_SIDE * GRID_SIDE
+        assert manifest["graph"]["fingerprint"].startswith("sha256:")
+
+    def test_use_kernels_override_honored(self, built_indexes, snapshot_dirs):
+        for method in ("DH2H", "PMHL"):
+            original = built_indexes[method]
+            pure = load_index(snapshot_dirs[method], use_kernels=False)
+            assert pure.use_kernels is False
+            assert pure._kernel_stores == {}
+            pairs = _query_pairs(original.graph)[:20]
+            assert original.query_many(pairs) == pure.query_many(pairs)
+            # The pure path must not have frozen anything while answering.
+            assert pure._kernel_stores == {}
+
+    def test_unknown_override_rejected(self, snapshot_dirs):
+        with pytest.raises(TypeError):
+            load_index(snapshot_dirs["DH2H"], bananas=3)
+
+    def test_double_round_trip(self, built_indexes, tmp_path):
+        """A *loaded* index re-saves correctly (the lazily materialised
+        structures serialize again) and stays bit-identical two hops out."""
+        original = built_indexes["PMHL"]
+        first = str(tmp_path / "first")
+        save_index(original, first)
+        loaded = load_index(first)
+        second = str(tmp_path / "second")
+        save_index(loaded, second)
+        twice = load_index(second)
+        pairs = _query_pairs(original.graph)[:20]
+        _assert_equivalent(original, twice, pairs)
+        # ... and the twice-loaded index still accepts updates.
+        batch_a = generate_update_batch(original.graph, UPDATE_VOLUME, seed=6)
+        batch_b = generate_update_batch(twice.graph, UPDATE_VOLUME, seed=6)
+        fresh = create_index(NINE_SPECS["PMHL"], _base_graph().copy())
+        fresh.build()
+        fresh.apply_batch(batch_a)
+        twice.apply_batch(batch_b)
+        assert fresh.query_many(pairs) == twice.query_many(pairs)
+
+    def test_json_backend_round_trip(self, built_indexes, tmp_path):
+        """The pure-JSON payload (the no-numpy fallback) is equivalent."""
+        for method in ("DH2H", "PostMHL"):
+            original = built_indexes[method]
+            path = str(tmp_path / f"json-{method}")
+            save_index(original, path, backend="json")
+            assert read_manifest(path)["payload_backend"] == "json"
+            loaded = load_index(path)
+            _assert_equivalent(original, loaded, _query_pairs(original.graph)[:20])
+
+
+class TestRoundTripPostUpdate:
+    @pytest.mark.parametrize("method", sorted(NINE_SPECS))
+    def test_save_after_apply_batch(self, method, tmp_path):
+        """An index that has lived through updates snapshots its *current* state."""
+        base = _base_graph()
+        index = create_index(NINE_SPECS[method], base.copy())
+        index.build()
+        batch = generate_update_batch(index.graph, UPDATE_VOLUME, seed=2)
+        index.apply_batch(batch)
+
+        path = str(tmp_path / "snap")
+        save_index(index, path)
+        loaded = load_index(path)
+        pairs = _query_pairs(index.graph)
+        _assert_equivalent(index, loaded, pairs)
+        # Sanity against a fresh Dijkstra oracle on the updated graph (the
+        # serving suite's tolerance: maintained labels may associate path
+        # sums differently than a from-scratch search).
+        for source, target in pairs[:10]:
+            oracle = dijkstra_distance(loaded.graph, source, target)
+            assert abs(loaded.query_many([(source, target)])[0] - oracle) <= 1e-9
+
+    @pytest.mark.parametrize("method", sorted(NINE_SPECS))
+    def test_update_after_load(self, built_indexes, snapshot_dirs, method, tmp_path):
+        """A loaded index accepts ``apply_batch`` and stays equivalent.
+
+        This exercises the kernel-epoch lifecycle after a load: the first
+        queries answer through the *reattached* stores, the update bumps the
+        epoch and drops them, and post-update queries answer through freshly
+        frozen stores — never through pre-update state.
+        """
+        # A private original: the module-shared one must stay pristine.
+        original = create_index(NINE_SPECS[method], _base_graph().copy())
+        original.build()
+        loaded = load_index(snapshot_dirs[method])
+
+        pairs = _query_pairs(loaded.graph)
+        loaded.query_many(pairs[:5])  # warm the reattached stores
+        epoch_before = loaded.kernel_epoch
+
+        batch_original = generate_update_batch(original.graph, UPDATE_VOLUME, seed=4)
+        batch_loaded = generate_update_batch(loaded.graph, UPDATE_VOLUME, seed=4)
+        original.apply_batch(batch_original)
+        loaded.apply_batch(batch_loaded)
+
+        assert loaded.kernel_epoch > epoch_before
+        _assert_equivalent(original, loaded, pairs)
+
+
+class TestCorruptionAndSkew:
+    @pytest.fixture()
+    def snapshot(self, tmp_path):
+        index = create_index(NINE_SPECS["DH2H"], _base_graph().copy())
+        index.build()
+        path = str(tmp_path / "snap")
+        save_index(index, path)
+        return path
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SnapshotFormatError):
+            load_index(str(tmp_path / "nowhere"))
+
+    def test_truncated_payload(self, snapshot):
+        payload = os.path.join(snapshot, read_manifest(snapshot)["payload"])
+        size = os.path.getsize(payload)
+        with open(payload, "rb+") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(SnapshotFormatError):
+            load_index(snapshot)
+
+    def test_missing_payload(self, snapshot):
+        os.remove(os.path.join(snapshot, read_manifest(snapshot)["payload"]))
+        with pytest.raises(SnapshotFormatError):
+            load_index(snapshot)
+
+    def test_corrupt_state_json(self, snapshot):
+        with open(os.path.join(snapshot, "state.json"), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(SnapshotFormatError):
+            load_index(snapshot)
+
+    def test_corrupt_manifest(self, snapshot):
+        with open(os.path.join(snapshot, "manifest.json"), "w") as handle:
+            handle.write("]")
+        with pytest.raises(SnapshotFormatError):
+            load_index(snapshot)
+
+    def test_wrong_format_tag(self, snapshot):
+        manifest_path = os.path.join(snapshot, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format"] = "something-else"
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(SnapshotFormatError):
+            load_index(snapshot)
+
+    def test_schema_version_skew(self, snapshot):
+        manifest_path = os.path.join(snapshot, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["schema_version"] = 999
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(SnapshotVersionError) as excinfo:
+            load_index(snapshot)
+        assert excinfo.value.found == 999
+
+    def test_graph_fingerprint_mismatch(self, snapshot):
+        drifted = _base_graph()
+        edge = next(iter(drifted.edges()))
+        drifted.set_edge_weight(edge[0], edge[1], edge[2] + 1.0)
+        with pytest.raises(SnapshotGraphMismatchError):
+            load_index(snapshot, graph=drifted)
+
+    def test_resave_over_existing_snapshot(self, snapshot):
+        """Overwriting a snapshot in place stays loadable."""
+        index = load_index(snapshot)
+        save_index(index, snapshot)
+        reloaded = load_index(snapshot)
+        assert reloaded.query(0, 9) == index.query(0, 9)
+
+    def test_interrupted_overwrite_reads_as_incomplete(self, snapshot):
+        """``save_index`` drops the manifest before touching any file, so a
+        crash mid-overwrite can never pair an old manifest with new payload
+        bytes — the directory reads as a typed format error instead."""
+        os.remove(os.path.join(snapshot, "manifest.json"))
+        with pytest.raises(SnapshotFormatError):
+            load_index(snapshot)
+
+    def test_unbuilt_index_rejected(self, tmp_path):
+        index = create_index(NINE_SPECS["DH2H"], _base_graph())
+        with pytest.raises(SnapshotUnsupportedError):
+            save_index(index, str(tmp_path / "snap"))
+
+    def test_unregistered_index_rejected(self, tmp_path):
+        from repro.hierarchy.ch import CHIndex
+
+        index = CHIndex(_base_graph())
+        index.build()
+        with pytest.raises(SnapshotUnsupportedError):
+            save_index(index, str(tmp_path / "snap"))
+
+    def test_direct_construction_records_actual_params(self, tmp_path):
+        """A registry-less index (no ``spec`` attached) must record the
+        parameters it was *actually* built with, not the method defaults."""
+        from repro.core.postmhl import PostMHLIndex
+
+        index = PostMHLIndex(_base_graph(), bandwidth=9, expected_partitions=3)
+        index.build()
+        path = str(tmp_path / "snap")
+        save_index(index, path)
+        manifest = read_manifest(path)
+        assert manifest["spec"]["bandwidth"] == 9
+        assert manifest["spec"]["expected_partitions"] == 3
+        loaded = load_index(path)
+        assert loaded.bandwidth == 9
+        assert loaded.expected_partitions == 3
+        pairs = _query_pairs(index.graph)[:15]
+        assert index.query_many(pairs) == loaded.query_many(pairs)
+
+
+class TestFingerprint:
+    def test_insensitive_to_iteration_order(self):
+        a = _base_graph()
+        b = _base_graph()
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_sensitive_to_weights_and_structure(self):
+        a = _base_graph()
+        b = _base_graph()
+        edge = next(iter(b.edges()))
+        b.set_edge_weight(edge[0], edge[1], edge[2] * 2)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+        c = _base_graph()
+        c.add_vertex(10_000)
+        assert graph_fingerprint(a) != graph_fingerprint(c)
+
+
+class TestServingIntegration:
+    def test_export_and_warm_start(self, tmp_path):
+        """Export from a live engine mid-stream, then warm-start a twin.
+
+        The warm-started engine must answer every query exactly like the
+        exporting engine did at the exported epoch (Dijkstra oracle on the
+        exported graph), without rebuilding the index.
+        """
+        index = create_index(NINE_SPECS["PMHL"], _base_graph().copy())
+        path = str(tmp_path / "engine-snap")
+        with ServingEngine(index, cache_capacity=0) as engine:
+            for seed in (1, 2):
+                engine.submit_batch(
+                    generate_update_batch(index.graph, UPDATE_VOLUME, seed=seed)
+                )
+            exported_epoch = engine.export_snapshot(path)
+            assert exported_epoch == 2
+        assert read_manifest(path)["extras"]["epoch"] == 2
+
+        warm = ServingEngine.from_snapshot(path, cache_capacity=0)
+        assert warm.index.is_built
+        pairs = _query_pairs(warm.index.graph)[:15]
+        with warm:
+            for source, target in pairs:
+                result = warm.serve(source, target)
+                oracle = dijkstra_distance(warm.index.graph, source, target)
+                assert abs(result.distance - oracle) <= 1e-9
+
+    def test_export_on_stopped_engine(self, tmp_path):
+        index = create_index(NINE_SPECS["DH2H"], _base_graph().copy())
+        engine = ServingEngine(index, cache_capacity=0)
+        path = str(tmp_path / "stopped-snap")
+        assert engine.export_snapshot(path) == 0
+        loaded = load_index(path)
+        assert loaded.query(0, 9) == index.query(0, 9)
+
+
+class TestBuildCache:
+    def test_miss_then_hit(self, tmp_path):
+        from repro.experiments import build_cache
+
+        build_cache.set_cache_dir(str(tmp_path))
+        try:
+            spec = NINE_SPECS["DH2H"]
+            graph = _base_graph()
+            first = build_cache.load_or_build(spec, graph)
+            assert os.path.isdir(
+                os.path.join(str(tmp_path), build_cache.cache_key(spec, graph))
+            )
+            second = build_cache.load_or_build(spec, graph)
+            # The hit is a fresh, isolated instance on its own graph copy.
+            assert second is not first
+            assert second.graph is not graph
+            pairs = _query_pairs(graph)[:15]
+            assert first.query_many(pairs) == second.query_many(pairs)
+        finally:
+            build_cache.set_cache_dir(None)
+
+    def test_disabled_without_directory(self):
+        from repro.experiments import build_cache
+
+        build_cache.set_cache_dir(None)
+        if build_cache.CACHE_ENV in os.environ:  # pragma: no cover - env guard
+            pytest.skip("REPRO_BUILD_CACHE set in the environment")
+        index = build_cache.load_or_build(NINE_SPECS["DH2H"], _base_graph())
+        assert index.is_built
+
+    def test_key_separates_params_and_graph(self):
+        from repro.experiments import build_cache
+
+        graph = _base_graph()
+        key_a = build_cache.cache_key(get_spec("PMHL", num_partitions=2), graph)
+        key_b = build_cache.cache_key(get_spec("PMHL", num_partitions=4), graph)
+        assert key_a != key_b
+        other = grid_road_network(GRID_SIDE, GRID_SIDE, seed=6)
+        key_c = build_cache.cache_key(get_spec("PMHL", num_partitions=2), other)
+        assert key_a != key_c
+
+
+class TestLazyDictConcurrency:
+    def test_concurrent_first_touch_sees_full_contents(self):
+        """Racing first reads (warm-started multi-thread serving) must never
+        observe a partially materialised dict."""
+        import threading
+        import time
+
+        from repro.store.codec import LazyDict
+
+        def loader(target):
+            for i in range(500):
+                target[i] = i
+                if i == 1:
+                    time.sleep(0.02)  # widen the window racing readers hit
+
+        lazy = LazyDict(loader)
+        errors = []
+        started = threading.Barrier(6)
+
+        def reader():
+            try:
+                started.wait()
+                assert lazy[499] == 499
+                assert len(lazy) == 500
+            except Exception as exc:  # pragma: no cover - failure capture
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+@pytest.mark.skipif(numpy is None, reason="npz payloads require numpy")
+class TestKernelReattachment:
+    def test_stores_attached_without_refreeze(self, built_indexes, snapshot_dirs):
+        """The persisted stores are live immediately after the load."""
+        loaded = load_index(snapshot_dirs["DH2H"])
+        assert "labels" in loaded._kernel_stores
+        store = loaded._kernel_stores["labels"]
+        loaded.query(0, 9)
+        assert loaded._kernel_stores["labels"] is store  # no refreeze happened
+
+    def test_attached_store_dropped_on_update(self, snapshot_dirs):
+        loaded = load_index(snapshot_dirs["DH2H"])
+        attached = loaded._kernel_stores["labels"]
+        batch = generate_update_batch(loaded.graph, UPDATE_VOLUME, seed=9)
+        loaded.apply_batch(batch)
+        refrozen = loaded._label_store()
+        assert refrozen is not attached
