@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
 
@@ -118,11 +119,33 @@ class DistanceIndex(abc.ABC):
     # ------------------------------------------------------------------
     def build(self) -> float:
         """Construct the index; returns the construction time in seconds."""
-        with Timer() as timer:
-            self._build()
+        with obs.span(
+            self.name.lower() + ".build",
+            index=self.name,
+            vertices=self.graph.num_vertices,
+            edges=self.graph.num_edges,
+        ):
+            with Timer() as timer:
+                self._build()
         self.build_seconds = timer.seconds
         self._built = True
         self.invalidate_kernels()
+        if obs.is_enabled():
+            registry = obs.registry()
+            registry.counter(
+                "repro_index_builds_total", "Completed index builds", index=self.name
+            ).inc()
+            registry.histogram(
+                "repro_index_build_seconds", "Index construction wall time",
+                index=self.name,
+            ).record(timer.seconds)
+            rss = obs.peak_rss_bytes()
+            if rss is not None:
+                registry.gauge(
+                    "repro_index_build_peak_rss_bytes",
+                    "Process peak RSS sampled right after the build",
+                    index=self.name,
+                ).set(rss)
         return self.build_seconds
 
     @abc.abstractmethod
@@ -169,9 +192,24 @@ class DistanceIndex(abc.ABC):
                 results[position] = distance
         return results
 
-    @abc.abstractmethod
     def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
-        """Apply a batch of edge-weight updates to the graph and the index."""
+        """Apply a batch of edge-weight updates to the graph and the index.
+
+        Template method: the per-method maintenance logic lives in
+        :meth:`_apply_batch`; this wrapper owns the cross-cutting concerns —
+        currently the ``<method>.apply_batch`` tracing span that every
+        per-stage span nests under (see ``repro.obs``).
+        """
+        if not obs.is_enabled():
+            return self._apply_batch(batch)
+        with obs.span(
+            self.name.lower() + ".apply_batch", index=self.name, updates=len(batch)
+        ):
+            return self._apply_batch(batch)
+
+    @abc.abstractmethod
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        """Concrete maintenance logic of :meth:`apply_batch`."""
 
     @abc.abstractmethod
     def index_size(self) -> int:
@@ -196,6 +234,19 @@ class DistanceIndex(abc.ABC):
     def _emit_stage(self, report: UpdateReport, timing: StageTiming) -> None:
         """Record a finished update stage and notify the stage listener."""
         report.stages.append(timing)
+        if obs.is_enabled():
+            # Back-dated by its duration, the stage span sits inside the
+            # enclosing ``<method>.apply_batch`` span's window.
+            obs.record_span(
+                self.name.lower() + ".apply_batch." + timing.name,
+                timing.seconds,
+                index=self.name,
+                stage=timing.name,
+            )
+            obs.registry().counter(
+                "repro_update_stages_total", "Completed apply_batch stages",
+                index=self.name, stage=timing.name,
+            ).inc()
         if self._stage_listener is not None:
             self._stage_listener(timing)
 
@@ -229,6 +280,12 @@ class DistanceIndex(abc.ABC):
         self._kernel_epoch += 1
         self._kernel_stores.clear()
         self._graph_snapshot_cache = None
+        if obs.is_enabled():
+            obs.registry().counter(
+                "repro_kernel_invalidations_total",
+                "Kernel-epoch bumps (one per build/update/serving epoch)",
+                index=self.name,
+            ).inc()
 
     def _kernel(self, key: str, builder: Callable[[], object]):
         """Per-epoch memo of one frozen store.
@@ -242,7 +299,17 @@ class DistanceIndex(abc.ABC):
             return None
         entry = self._kernel_stores.get(key, _UNFROZEN)
         if entry is _UNFROZEN:
-            entry = builder()
+            if obs.is_enabled():
+                with obs.span("kernels.freeze." + key, index=self.name, store=key):
+                    entry = builder()
+                obs.registry().counter(
+                    "repro_kernel_freezes_total",
+                    "Frozen-store builds (label 'frozen' distinguishes "
+                    "successful freezes from unsupported ones)",
+                    index=self.name, store=key, frozen=entry is not None,
+                ).inc()
+            else:
+                entry = builder()
             self._kernel_stores[key] = entry
         return entry
 

@@ -66,7 +66,7 @@ class BiDijkstraIndex(DistanceIndex):
             return snapshot.one_to_many(source, targets)
         return dijkstra_one_to_many(self.graph, source, targets)
 
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         report = UpdateReport()
         # The CSR snapshot also self-invalidates via graph.version; the epoch
         # bump keeps the kernel protocol uniform across indexes.

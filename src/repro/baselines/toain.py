@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
@@ -68,13 +69,16 @@ class TOAINIndex(DistanceIndex):
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
-        self.contraction = contract_graph(self.graph)
+        prefix = self.name.lower() + ".build."
+        with obs.span(prefix + "contraction"):
+            self.contraction = contract_graph(self.graph)
         n = self.contraction.num_vertices
         core_size = max(1, int(self.checkin_fraction * n))
         self.core_rank_threshold = n - core_size
-        self.core_labels = {
-            v: self._upward_core_labels(v) for v in self.contraction.order
-        }
+        with obs.span(prefix + "core_labels"):
+            self.core_labels = {
+                v: self._upward_core_labels(v) for v in self.contraction.order
+            }
 
     def _upward_core_labels(self, vertex: int) -> Dict[int, float]:
         """Upward CH search from ``vertex``, keeping only core-zone vertices."""
@@ -249,7 +253,7 @@ class TOAINIndex(DistanceIndex):
         return sub_core
 
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         """Refresh shortcuts (DCH-style) and rebuild all materialised labels.
 
         TOAIN was designed for static edge weights; following the paper, its

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.algorithms.dijkstra import bidijkstra
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.core.cross_boundary import build_cross_boundary_index
@@ -98,6 +99,10 @@ class PMHLIndex(DistanceIndex):
             )
         self.order = boundary_first_order(self.graph, self.partitioning)
         breakdown["partitioning_and_ordering"] = time.perf_counter() - start
+        obs.record_span(
+            "pmhl.build.partitioning_and_ordering",
+            breakdown["partitioning_and_ordering"],
+        )
 
         # Steps 1-3: no-boundary index ({L_i}, overlay graph, overlay index).
         start = time.perf_counter()
@@ -106,6 +111,7 @@ class PMHLIndex(DistanceIndex):
         self.overlay = OverlayIndex(self.partitioning, self.family, self.order, with_labels=True)
         self.overlay.build()
         breakdown["no_boundary"] = time.perf_counter() - start
+        obs.record_span("pmhl.build.no_boundary", breakdown["no_boundary"])
 
         # Steps 4-5: post-boundary index ({L'_i} on extended partitions).
         start = time.perf_counter()
@@ -129,6 +135,7 @@ class PMHLIndex(DistanceIndex):
         )
         self.extended_family.build()
         breakdown["post_boundary"] = time.perf_counter() - start
+        obs.record_span("pmhl.build.post_boundary", breakdown["post_boundary"])
 
         # Step 6: cross-boundary index L* via tree aggregation.
         start = time.perf_counter()
@@ -136,6 +143,7 @@ class PMHLIndex(DistanceIndex):
             self.partitioning, self.order, self.family, self.overlay
         )
         breakdown["cross_boundary"] = time.perf_counter() - start
+        obs.record_span("pmhl.build.cross_boundary", breakdown["cross_boundary"])
         self.build_breakdown = breakdown
 
     def _require_built(self) -> None:
@@ -380,7 +388,7 @@ class PMHLIndex(DistanceIndex):
     # ------------------------------------------------------------------
     # Maintenance (U-Stages 1-5, Section V-D)
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         self._require_built()
         report = UpdateReport()
         partitioning = self.partitioning

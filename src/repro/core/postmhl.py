@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.algorithms.dijkstra import bidijkstra
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.core.stages import PostMHLQueryStage
@@ -97,6 +98,9 @@ class PostMHLIndex(DistanceIndex):
         self.contraction = contract_graph(self.graph)
         self.tree = TreeDecomposition.from_contraction(self.contraction)
         breakdown["tree_decomposition"] = time.perf_counter() - start
+        obs.record_span(
+            "postmhl.build.tree_decomposition", breakdown["tree_decomposition"]
+        )
 
         start = time.perf_counter()
         self.td = td_partition(
@@ -107,15 +111,18 @@ class PostMHLIndex(DistanceIndex):
             beta_upper=self.beta_upper,
         )
         breakdown["td_partitioning"] = time.perf_counter() - start
+        obs.record_span("postmhl.build.td_partitioning", breakdown["td_partitioning"])
 
         start = time.perf_counter()
         self.labels = H2HLabels(self.tree)
         self.labels.build()
         breakdown["labels"] = time.perf_counter() - start
+        obs.record_span("postmhl.build.labels", breakdown["labels"])
 
         start = time.perf_counter()
         self._build_boundary_arrays()
         breakdown["boundary_arrays"] = time.perf_counter() - start
+        obs.record_span("postmhl.build.boundary_arrays", breakdown["boundary_arrays"])
         self.build_breakdown = breakdown
 
     def _build_boundary_arrays(self) -> None:
@@ -307,7 +314,7 @@ class PostMHLIndex(DistanceIndex):
     # ------------------------------------------------------------------
     # Maintenance (U-Stages 1-5, Section VI-C)
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         self._require_built()
         report = UpdateReport()
         tree = self.tree

@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments snapshot save --method PMHL --dataset NY --path DIR
     python -m repro.experiments snapshot load --path DIR [--verify N]
     python -m repro.experiments snapshot info --path DIR
+    python -m repro.experiments obs [--methods PMHL,PostMHL] [--side N]
+                                    [--metrics-out FILE] [--trace-out FILE]
 
 ``experiment-id`` is one of the keys of :data:`repro.experiments.EXPERIMENTS`
 (``table1``, ``exp1`` … ``exp9``, ``ablations``) or ``all``.  The driver's rows
@@ -15,7 +17,10 @@ are printed as a plain-text table and optionally written to a CSV file.
 ``--cache-dir`` enables the snapshot build cache (see
 :mod:`repro.experiments.build_cache`), so reruns and parameter sweeps skip
 redundant index construction; the ``snapshot`` subcommand manages standalone
-index snapshots (build-and-save, load-and-verify, inspect).
+index snapshots (build-and-save, load-and-verify, inspect); the ``obs``
+subcommand runs an instrumented build/maintenance/query workload with
+``repro.obs`` enabled and dumps a Prometheus-text metrics file plus a
+``chrome://tracing``-loadable trace.
 """
 
 from __future__ import annotations
@@ -162,12 +167,120 @@ def _snapshot_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments obs",
+        description="Run an instrumented workload (build + update batches + "
+        "queries) with repro.obs enabled; dump metrics and a Chrome trace.",
+    )
+    parser.add_argument(
+        "--methods",
+        default="PMHL,PostMHL",
+        help="comma-separated registered method names (default: PMHL,PostMHL)",
+    )
+    parser.add_argument(
+        "--side", type=int, default=50,
+        help="grid side length; the workload runs on a side x side road grid",
+    )
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument(
+        "--queries", type=int, default=400, help="queries per method (served in batches)"
+    )
+    parser.add_argument(
+        "--batches", type=int, default=3, help="update batches per method"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=20, help="edge updates per batch"
+    )
+    parser.add_argument(
+        "--metrics-out", default="obs_metrics.prom",
+        help="Prometheus-text metrics dump (default: obs_metrics.prom)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, help="optional JSON metrics dump"
+    )
+    parser.add_argument(
+        "--trace-out", default="obs_trace.json",
+        help="Chrome trace-event file, loadable in chrome://tracing "
+        "(default: obs_trace.json)",
+    )
+    return parser
+
+
+def _obs_main(argv: Sequence[str]) -> int:
+    args = build_obs_parser().parse_args(argv)
+
+    from repro import obs
+    from repro.graph.generators import grid_road_network
+    from repro.graph.updates import generate_update_batch
+    from repro.registry import create_index, registered_methods
+    from repro.serving.engine import ServingEngine
+    from repro.throughput.workload import sample_query_pairs
+
+    methods = [name.strip() for name in args.methods.split(",") if name.strip()]
+    known = set(registered_methods())
+    unknown = [name for name in methods if name not in known]
+    if unknown:
+        build_obs_parser().error(
+            f"unknown method(s): {', '.join(unknown)} (registered: {sorted(known)})"
+        )
+
+    obs.enable()
+    base_graph = grid_road_network(args.side, args.side, seed=args.seed)
+    print(
+        f"observing {', '.join(methods)} on a {args.side}x{args.side} grid "
+        f"(n={base_graph.num_vertices}, m={base_graph.num_edges})"
+    )
+
+    for method in methods:
+        graph = base_graph.copy()
+        index = create_index(method, graph)
+        with obs.span("obs_cli.workload", method=method):
+            with ServingEngine(index, query_threads=2) as engine:
+                pairs = list(
+                    sample_query_pairs(graph, args.queries, seed=args.seed + 1)
+                )
+                half = len(pairs) // 2
+                engine.query_batch(pairs[:half])
+                for number in range(args.batches):
+                    batch = generate_update_batch(
+                        engine.index.graph,
+                        volume=args.batch_size,
+                        seed=args.seed + 10 + number,
+                    )
+                    engine.submit_batch(batch)
+                    engine.wait_for_maintenance()
+                engine.query_batch(pairs[half:])
+                stats = engine.stats()
+        print(
+            f"  {method}: built in {index.build_seconds:.2f}s, "
+            f"{stats['queries_served']} queries served, "
+            f"{stats['batches_applied']} batches installed"
+        )
+
+    with open(args.metrics_out, "w") as handle:
+        handle.write(obs.export_prometheus())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(obs.export_json(), handle, indent=2)
+    obs.export_chrome_trace(args.trace_out)
+    tracer = obs.tracer()
+    print(f"wrote {len(obs.registry().names())} metric families to {args.metrics_out}")
+    print(
+        f"wrote {len(tracer)} spans to {args.trace_out} "
+        "(open in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
     if argv and argv[0] == "snapshot":
         return _snapshot_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.cache_dir:

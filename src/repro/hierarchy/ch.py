@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
@@ -123,7 +124,10 @@ class CHIndex(DistanceIndex):
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
-        self.contraction = contract_graph(self.graph, order=self._order, tiers=self._tiers)
+        with obs.span(self.name.lower() + ".build.contraction"):
+            self.contraction = contract_graph(
+                self.graph, order=self._order, tiers=self._tiers
+            )
 
     def _require_built(self) -> ContractionResult:
         if self.contraction is None:
@@ -155,7 +159,7 @@ class CHIndex(DistanceIndex):
             return store.query(source, target)
         return ch_bidirectional_query(source, target, self.upward_neighbors)
 
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         raise NotImplementedError(
             "CHIndex is static; use DCHIndex for dynamic maintenance"
         )
@@ -196,7 +200,7 @@ class DCHIndex(CHIndex):
 
     name = "DCH"
 
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         contraction = self._require_built()
         report = UpdateReport()
         self.invalidate_kernels()

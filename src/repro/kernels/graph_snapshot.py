@@ -23,6 +23,7 @@ import heapq
 import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.exceptions import VertexNotFoundError
 from repro.graph.graph import Graph
 
@@ -50,6 +51,12 @@ class GraphSnapshot:
 
     @classmethod
     def freeze(cls, graph: Graph) -> "GraphSnapshot":
+        if obs.is_enabled():
+            obs.registry().counter(
+                "repro_kernel_store_freezes_total",
+                "Frozen kernel stores built, by store kind",
+                store="graph_snapshot",
+            ).inc()
         return cls(graph)
 
     def is_fresh(self, graph: Graph) -> bool:

@@ -24,6 +24,7 @@ try:
 except ImportError:  # pragma: no cover - exercised only without numpy
     np = None
 
+from repro import obs
 from repro.exceptions import VertexNotFoundError
 
 INF = math.inf
@@ -62,6 +63,12 @@ class HubStore:
                 hub_slots[offset] = core_slots[hub]
                 hub_dists[offset] = distance
                 offset += 1
+        if obs.is_enabled():
+            obs.registry().counter(
+                "repro_kernel_store_freezes_total",
+                "Frozen kernel stores built, by store kind",
+                store="hub_store",
+            ).inc()
         return cls(row, len(core_slots), hub_indptr, hub_slots, hub_dists)
 
     # ------------------------------------------------------------------

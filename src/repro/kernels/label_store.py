@@ -38,6 +38,7 @@ try:  # numpy is a hard dependency of the package but the kernels degrade
 except ImportError:  # pragma: no cover - exercised only without numpy
     np = None
 
+from repro import obs
 from repro.exceptions import VertexNotFoundError
 from repro.kernels.native import native_kernel
 
@@ -164,6 +165,12 @@ class LabelStore:
         for v, count in zip(verts, counts):
             dis_data[offset : offset + count] = dis[v]
             offset += count
+        if obs.is_enabled():
+            obs.registry().counter(
+                "repro_kernel_store_freezes_total",
+                "Frozen kernel stores built, by store kind",
+                store="label_store",
+            ).inc()
         return cls(layout, dis_indptr, dis_data)
 
     # ------------------------------------------------------------------

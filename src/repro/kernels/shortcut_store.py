@@ -19,6 +19,8 @@ import heapq
 import math
 from typing import Callable, Dict, Iterable, List, Mapping, Tuple
 
+from repro import obs
+
 INF = math.inf
 
 
@@ -37,6 +39,12 @@ class ShortcutStore:
         vertices: Iterable[int],
     ) -> "ShortcutStore":
         """Materialise ``upward(v)`` for every vertex, preserving item order."""
+        if obs.is_enabled():
+            obs.registry().counter(
+                "repro_kernel_store_freezes_total",
+                "Frozen kernel stores built, by store kind",
+                store="shortcut_store",
+            ).inc()
         return cls({v: list(upward(v).items()) for v in vertices})
 
     def has_vertex(self, v: int) -> bool:

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
@@ -222,10 +223,16 @@ class H2HIndex(DistanceIndex):
         self.labels: Optional[H2HLabels] = None
 
     def _build(self) -> None:
-        self.contraction = contract_graph(self.graph, order=self._order, tiers=self._tiers)
-        self.tree = TreeDecomposition.from_contraction(self.contraction)
-        self.labels = H2HLabels(self.tree)
-        self.labels.build()
+        prefix = self.name.lower() + ".build."
+        with obs.span(prefix + "contraction"):
+            self.contraction = contract_graph(
+                self.graph, order=self._order, tiers=self._tiers
+            )
+        with obs.span(prefix + "tree_decomposition"):
+            self.tree = TreeDecomposition.from_contraction(self.contraction)
+        with obs.span(prefix + "labels"):
+            self.labels = H2HLabels(self.tree)
+            self.labels.build()
 
     def _require_built(self) -> H2HLabels:
         if self.labels is None:
@@ -276,7 +283,7 @@ class H2HIndex(DistanceIndex):
             return store.query_pairs(list(pairs))
         return super().query_many(pairs)
 
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         raise NotImplementedError("H2HIndex is static; use DH2HIndex for dynamic maintenance")
 
     def index_size(self) -> int:
@@ -338,7 +345,7 @@ class DH2HIndex(H2HIndex):
 
     name = "DH2H"
 
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         labels = self._require_built()
         report = UpdateReport()
         # Before any structure mutates: no query may read a pre-update store.

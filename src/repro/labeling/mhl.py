@@ -103,7 +103,7 @@ class MHLIndex(DH2HIndex):
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         """Three-stage maintenance mirroring U-Stages of the multi-stage scheme.
 
         Stage names map to the query stage that becomes available when the

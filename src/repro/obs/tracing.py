@@ -1,0 +1,245 @@
+"""Span-based tracing with thread-local nesting and Chrome trace export.
+
+A *span* is one named, timed region of work::
+
+    with tracer.span("pmhl.build.no_boundary", partition=3):
+        ...
+
+Spans nest through a thread-local stack, so a build phase opened inside an
+index build records the build as its parent and the exported trace renders
+as a flame chart.  Stage timings that were already measured elsewhere (the
+``StageTiming`` objects every ``apply_batch`` produces) enter retroactively
+via :meth:`Tracer.record` — the event is back-dated by its duration, which
+keeps it inside its enclosing span's window.
+
+:meth:`Tracer.export_chrome` writes the Chrome trace-event JSON format
+(``{"traceEvents": [...]}`` with ``ph: "X"`` complete events, timestamps and
+durations in microseconds), loadable in ``chrome://tracing`` or Perfetto.
+
+Every completed span also records its duration into the owning registry's
+``repro_span_seconds{span="..."}`` histogram, so the metrics dump carries the
+same per-stage accounting the trace shows on a timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import Histogram, MetricRegistry
+
+#: Histogram fed with every completed span's duration.
+SPAN_HISTOGRAM = "repro_span_seconds"
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span, in the tracer's ``perf_counter`` timeline."""
+
+    name: str
+    #: Start offset in seconds since the tracer's origin.
+    start: float
+    duration: float
+    thread_id: int
+    thread_name: str
+    #: Nesting depth on its thread at entry (0 = root).
+    depth: int
+    #: Name of the enclosing span, or ``None`` for roots.
+    parent: Optional[str]
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class _Span:
+    """Context manager recording one live span into its tracer."""
+
+    __slots__ = ("_tracer", "name", "args", "_start", "_depth", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        end = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self._tracer._complete(
+            self.name, self._start, end - self._start,
+            self._depth, self._parent, self.args,
+        )
+        return False
+
+
+class Tracer:
+    """Collects completed spans; thread-safe, bounded, export-on-demand.
+
+    ``max_events`` bounds memory: once reached, further events are counted in
+    :attr:`dropped` instead of stored (their durations still reach the span
+    histogram, so the metrics stay complete even when the trace truncates).
+    """
+
+    def __init__(
+        self, registry: Optional[MetricRegistry] = None, max_events: int = 200_000
+    ) -> None:
+        self._registry = registry
+        self._max_events = max_events
+        self._lock = threading.Lock()
+        self._events: List[SpanEvent] = []
+        self._local = threading.local()
+        self._origin = time.perf_counter()
+        self._wall_origin = time.time()
+        self.dropped = 0
+        self._span_histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **args: object) -> _Span:
+        """Context manager timing one region of work (nests per thread)."""
+        return _Span(self, name, args)
+
+    def record(self, name: str, seconds: float, **args: object) -> None:
+        """Retroactively record a span that just finished, back-dated by
+        ``seconds`` so it sits inside the currently open span's window."""
+        end = time.perf_counter()
+        stack = self._stack()
+        self._complete(
+            name, end - seconds, seconds,
+            len(stack), stack[-1] if stack else None, args,
+        )
+
+    def _complete(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        depth: int,
+        parent: Optional[str],
+        args: Dict[str, object],
+    ) -> None:
+        thread = threading.current_thread()
+        event = SpanEvent(
+            name=name,
+            start=start - self._origin,
+            duration=duration,
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            depth=depth,
+            parent=parent,
+            args=dict(args),
+        )
+        with self._lock:
+            if len(self._events) < self._max_events:
+                self._events.append(event)
+            else:
+                self.dropped += 1
+            histogram = self._span_histograms.get(name)
+            if histogram is None and self._registry is not None:
+                histogram = self._registry.histogram(
+                    SPAN_HISTOGRAM, "Wall time of every completed span", span=name
+                )
+                self._span_histograms[name] = histogram
+        if histogram is not None:
+            histogram.record(duration)
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[SpanEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._span_histograms.clear()
+            self.dropped = 0
+            self._origin = time.perf_counter()
+            self._wall_origin = time.time()
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event export
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, object]:
+        """The trace as a Chrome trace-event JSON object (``ph: "X"``)."""
+        pid = os.getpid()
+        events: List[Dict[str, object]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        thread_names: Dict[int, str] = {}
+        for event in self.events():
+            thread_names.setdefault(event.thread_id, event.thread_name)
+            args = {
+                key: value
+                if isinstance(value, (str, int, float, bool)) or value is None
+                else str(value)
+                for key, value in event.args.items()
+            }
+            if event.parent is not None:
+                args.setdefault("parent", event.parent)
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": event.start * 1e6,
+                    "dur": event.duration * 1e6,
+                    "pid": pid,
+                    "tid": event.thread_id,
+                    "args": args,
+                }
+            )
+        for tid, name in thread_names.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "wall_origin_unix": self._wall_origin,
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def export_chrome(self, path: str) -> str:
+        """Write :meth:`chrome_trace` to ``path``; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+        return path

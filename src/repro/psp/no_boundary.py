@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.base import DistanceIndex, StageTiming, Timer, UpdateReport
 from repro.exceptions import IndexNotBuiltError, VertexNotFoundError
 from repro.graph.graph import Graph
@@ -83,18 +84,24 @@ class NoBoundaryPSPIndex(DistanceIndex):
     # Construction
     # ------------------------------------------------------------------
     def _build(self) -> None:
-        if self.partitioning is None:
-            self.partitioning = natural_cut_partition(
-                self.graph, self.num_partitions, seed=self.seed
-            )
-        self.order = boundary_first_order(self.graph, self.partitioning)
+        prefix = self.name.lower() + ".build."
+        with obs.span(prefix + "partitioning_and_ordering"):
+            if self.partitioning is None:
+                self.partitioning = natural_cut_partition(
+                    self.graph, self.num_partitions, seed=self.seed
+                )
+            self.order = boundary_first_order(self.graph, self.partitioning)
         with_labels = self.underlying == "h2h"
-        self.family = PartitionIndexFamily(self.partitioning, self.order, with_labels=with_labels)
-        self.family.build()
-        self.overlay = OverlayIndex(
-            self.partitioning, self.family, self.order, with_labels=with_labels
-        )
-        self.overlay.build()
+        with obs.span(prefix + "partition_indexes"):
+            self.family = PartitionIndexFamily(
+                self.partitioning, self.order, with_labels=with_labels
+            )
+            self.family.build()
+        with obs.span(prefix + "overlay"):
+            self.overlay = OverlayIndex(
+                self.partitioning, self.family, self.order, with_labels=with_labels
+            )
+            self.overlay.build()
 
     def _require_built(self) -> None:
         if self.family is None or self.overlay is None or not self.overlay._built:
@@ -334,7 +341,7 @@ class NoBoundaryPSPIndex(DistanceIndex):
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         self._require_built()
         report = UpdateReport()
         # Before any structure mutates (kernel staleness protocol).

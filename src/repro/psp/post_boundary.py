@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.base import StageTiming, UpdateReport
 from repro.graph.graph import Graph
 from repro.graph.updates import UpdateBatch
@@ -60,26 +61,29 @@ class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
     # ------------------------------------------------------------------
     def _build(self) -> None:
         super()._build()
-        extended_graphs: List[Graph] = []
-        self.boundary_distances = []
-        for pid in range(self.partitioning.num_partitions):
-            extended = self.partitioning.subgraph(pid)
-            distances = self.overlay.boundary_pair_distances(pid)
-            for (b1, b2), weight in distances.items():
-                if b1 < b2 and weight < INF:
-                    if extended.has_edge(b1, b2):
-                        extended.set_edge_weight(b1, b2, min(weight, extended.edge_weight(b1, b2)))
-                    else:
-                        extended.add_edge(b1, b2, weight)
-            extended_graphs.append(extended)
-            self.boundary_distances.append(distances)
-        self.extended_family = PartitionIndexFamily(
-            self.partitioning,
-            self.order,
-            with_labels=(self.underlying == "h2h"),
-            graphs=extended_graphs,
-        )
-        self.extended_family.build()
+        with obs.span(self.name.lower() + ".build.extended_partitions"):
+            extended_graphs: List[Graph] = []
+            self.boundary_distances = []
+            for pid in range(self.partitioning.num_partitions):
+                extended = self.partitioning.subgraph(pid)
+                distances = self.overlay.boundary_pair_distances(pid)
+                for (b1, b2), weight in distances.items():
+                    if b1 < b2 and weight < INF:
+                        if extended.has_edge(b1, b2):
+                            extended.set_edge_weight(
+                                b1, b2, min(weight, extended.edge_weight(b1, b2))
+                            )
+                        else:
+                            extended.add_edge(b1, b2, weight)
+                extended_graphs.append(extended)
+                self.boundary_distances.append(distances)
+            self.extended_family = PartitionIndexFamily(
+                self.partitioning,
+                self.order,
+                with_labels=(self.underlying == "h2h"),
+                graphs=extended_graphs,
+            )
+            self.extended_family.build()
 
     # ------------------------------------------------------------------
     # Query processing (same-partition queries go straight to {L'_i})
@@ -167,8 +171,8 @@ class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: UpdateBatch) -> UpdateReport:
-        report = super().apply_batch(batch)
+    def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
+        report = super()._apply_batch(batch)
         post_times = self._update_extended_partitions(batch)
         self._emit_stage(report,
             StageTiming("post_boundary_update", sum(post_times), parallel_times=post_times)

@@ -47,6 +47,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from repro import obs
 from repro.base import DistanceIndex, QueryPair, StageTiming, UpdateReport
 from repro.exceptions import (
     EngineStoppedError,
@@ -152,6 +153,41 @@ class ServingEngine:
         self._snapshots: "OrderedDict[int, Graph]" = OrderedDict()
         if snapshot_limit > 0:
             self._snapshots[0] = index.graph.copy()
+
+        if obs.is_enabled():
+            self._register_obs_gauges()
+
+    def _register_obs_gauges(self) -> None:
+        """Re-export engine/cache/admission state as registry gauges.
+
+        Gauges read live callbacks at exposition time.  The registry is
+        process-wide, so with several engines the most recently constructed
+        one owns these series (last registration wins).
+        """
+        registry = obs.registry()
+        registry.gauge(
+            "repro_serving_epoch", "Current serving epoch (installed batches)"
+        ).set_function(lambda: self._epoch)
+        registry.gauge(
+            "repro_serving_inflight", "Queries currently executing"
+        ).set_function(lambda: self._inflight)
+        registry.gauge(
+            "repro_serving_pending_batches", "Update batches queued or installing"
+        ).set_function(lambda: self.pending_batches)
+        if self.cache is not None:
+            for key in (
+                "size", "hits", "misses", "hit_rate",
+                "stale_rejections", "invalidated", "evictions",
+            ):
+                registry.gauge(
+                    f"repro_serving_cache_{key}", f"Distance cache {key}"
+                ).set_function(lambda k=key: self.cache.snapshot()[k])
+        sustainable = getattr(self.admission, "sustainable_rate", None)
+        if callable(sustainable):
+            registry.gauge(
+                "repro_serving_admission_sustainable_rate",
+                "Lemma-1 sustainable arrival rate under the configured QoS",
+            ).set_function(sustainable)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -368,7 +404,10 @@ class ServingEngine:
 
         index.set_stage_listener(on_stage)
         try:
-            report = index.apply_batch(batch)
+            with obs.span(
+                "serving.install_batch", epoch=pending_epoch, updates=len(batch)
+            ):
+                report = index.apply_batch(batch)
             self.router.complete(pending_epoch)
         finally:
             index.set_stage_listener(None)
@@ -410,6 +449,11 @@ class ServingEngine:
                 self._inflight -= 1
         self.metrics.record_query(result.stage, result.latency_seconds, result.from_cache)
         self.admission.observe_latency(result.latency_seconds)
+        if obs.is_enabled():
+            obs.record_span(
+                "serving.serve", result.latency_seconds,
+                stage=result.stage, epoch=result.epoch,
+            )
         return result
 
     def query(self, source: int, target: int) -> float:
@@ -461,6 +505,11 @@ class ServingEngine:
         for result in results:
             self.metrics.record_query(result.stage, result.latency_seconds, result.from_cache)
         self.admission.observe_latency(results[-1].latency_seconds)
+        if obs.is_enabled():
+            obs.record_span(
+                "serving.serve_batch", time.perf_counter() - started,
+                size=len(results), stage=results[-1].stage, epoch=results[-1].epoch,
+            )
         return results
 
     def query_batch(self, pairs: Iterable[QueryPair]) -> List[float]:

@@ -4,24 +4,34 @@ The throughput experiments report the *analytic* maximum sustainable rate
 ``λ*_q`` (``repro.throughput.qos``); the serving engine complements it with
 *measured* figures — queries actually served per second and p50/p95/p99
 response-time quantiles — so the two can be cross-checked (``exp9``).
+
+:class:`LatencyHistogram` is a latency-flavoured view of the generalised
+:class:`repro.obs.metrics.Histogram` (same buckets, same quantile semantics);
+when ``repro.obs`` is enabled, :class:`ServingMetrics` additionally mirrors
+every recorded event into the process-wide metric registry
+(``repro_serving_*`` series), so the legacy :meth:`ServingMetrics.snapshot`
+and the registry always agree.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 from collections import deque
 from typing import Dict, Optional
 
+from repro import obs
+from repro.obs.metrics import Histogram
 
-class LatencyHistogram:
+
+class LatencyHistogram(Histogram):
     """Log-bucketed latency histogram with approximate quantiles.
 
-    Buckets are geometrically spaced between ``min_latency`` and
-    ``max_latency`` (default 1 µs – 10 s, 10 buckets per decade), which keeps
-    the quantile error within one bucket width (~26 %) at any scale — plenty
-    for p50/p95/p99 reporting — with O(1) recording and fixed memory.
+    A :class:`repro.obs.metrics.Histogram` with latency defaults (1 µs – 10 s,
+    10 buckets per decade) and second-suffixed snapshot keys.  Bucket error
+    stays within one bucket width (~26 %) at any scale — plenty for
+    p50/p95/p99 reporting — with O(1) recording and fixed memory.
+    ``quantile(0.0)`` returns the exact minimum observed latency.
     """
 
     def __init__(
@@ -30,63 +40,23 @@ class LatencyHistogram:
         max_latency: float = 10.0,
         buckets_per_decade: int = 10,
     ) -> None:
-        if min_latency <= 0 or max_latency <= min_latency:
-            raise ValueError("require 0 < min_latency < max_latency")
-        self._min = min_latency
-        self._per_decade = buckets_per_decade
-        decades = math.log10(max_latency / min_latency)
-        self._num_buckets = int(math.ceil(decades * buckets_per_decade)) + 1
-        self._counts = [0] * (self._num_buckets + 1)  # +1 overflow bucket
-        self._total = 0
-        self._sum = 0.0
-        self._max = 0.0
+        super().__init__(
+            min_value=min_latency,
+            max_value=max_latency,
+            buckets_per_decade=buckets_per_decade,
+        )
 
-    def _bucket(self, latency: float) -> int:
-        if latency <= self._min:
-            return 0
-        index = int(math.log10(latency / self._min) * self._per_decade)
-        return min(index, self._num_buckets)  # clamp into the overflow bucket
-
-    def _bucket_upper(self, index: int) -> float:
-        return self._min * 10.0 ** ((index + 1) / self._per_decade)
-
-    def record(self, latency_seconds: float) -> None:
-        self._counts[self._bucket(latency_seconds)] += 1
-        self._total += 1
-        self._sum += latency_seconds
-        if latency_seconds > self._max:
-            self._max = latency_seconds
-
-    @property
-    def count(self) -> int:
-        return self._total
-
-    @property
-    def mean(self) -> float:
-        return self._sum / self._total if self._total else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Approximate ``q``-quantile (upper bound of the containing bucket)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self._total == 0:
-            return 0.0
-        rank = q * self._total
-        cumulative = 0
-        for index, bucket_count in enumerate(self._counts):
-            cumulative += bucket_count
-            if cumulative >= rank:
-                return min(self._bucket_upper(index), self._max)
-        return self._max
-
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, object]:
         return {
-            "count": float(self._total),
+            "count": float(self.count),
             "mean_seconds": self.mean,
+            "min_seconds": self.min,
             "p50_seconds": self.quantile(0.50),
             "p95_seconds": self.quantile(0.95),
             "p99_seconds": self.quantile(0.99),
-            "max_seconds": self._max,
+            "max_seconds": self.max,
+            "bucket_bounds": self.bucket_bounds(),
+            "bucket_counts": self.bucket_counts(),
         }
 
 
@@ -126,15 +96,40 @@ class ServingMetrics:
             cutoff = now - self._window
             while self._recent and self._recent[0] < cutoff:
                 self._recent.popleft()
+        if obs.is_enabled():
+            registry = obs.registry()
+            registry.counter(
+                "repro_serving_queries_total", "Queries served, by answering stage",
+                stage=stage,
+            ).inc()
+            if from_cache:
+                registry.counter(
+                    "repro_serving_cache_hits_total", "Queries answered from the cache"
+                ).inc()
+            registry.histogram(
+                "repro_serving_latency_seconds", "Per-query response time"
+            ).record(latency_seconds)
 
     def record_shed(self) -> None:
         with self._lock:
             self._shed += 1
+        if obs.is_enabled():
+            obs.registry().counter(
+                "repro_serving_queries_shed_total", "Queries shed by admission control"
+            ).inc()
 
     def record_batch(self, wall_seconds: float) -> None:
         with self._lock:
             self._batches += 1
             self._batch_seconds += wall_seconds
+        if obs.is_enabled():
+            registry = obs.registry()
+            registry.counter(
+                "repro_serving_maintenance_batches_total", "Installed update batches"
+            ).inc()
+            registry.histogram(
+                "repro_serving_maintenance_seconds", "Wall time per installed batch"
+            ).record(wall_seconds)
 
     # ------------------------------------------------------------------
     @property
@@ -148,12 +143,23 @@ class ServingMetrics:
             return self._shed
 
     def qps(self, window_seconds: Optional[float] = None) -> float:
-        """Served queries per second over the sliding window."""
+        """Served queries per second over the sliding window.
+
+        Stale timestamps are trimmed here as well as in ``record_query``, so
+        an idle engine releases the window's memory and repeated ``qps``
+        calls don't rescan entries that can never count again.
+        """
         window = window_seconds if window_seconds is not None else self._window
         now = self._clock()
-        cutoff = now - window
         with self._lock:
-            recent = sum(1 for t in self._recent if t >= cutoff)
+            cutoff = now - self._window
+            while self._recent and self._recent[0] < cutoff:
+                self._recent.popleft()
+            if window >= self._window:
+                recent = len(self._recent)
+            else:
+                query_cutoff = now - window
+                recent = sum(1 for t in self._recent if t >= query_cutoff)
         return recent / window if window > 0 else 0.0
 
     def lifetime_qps(self) -> float:

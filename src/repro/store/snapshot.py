@@ -34,6 +34,7 @@ import os
 import time
 from typing import Dict, Optional
 
+from repro import obs
 from repro.base import DistanceIndex
 from repro.exceptions import (
     SnapshotFormatError,
@@ -121,6 +122,7 @@ def save_index(
     """
     if not index.is_built:
         raise SnapshotUnsupportedError("only built indexes can be snapshotted")
+    started = time.perf_counter()
     spec = _spec_for(index)
     writer = ArrayWriter(backend)
 
@@ -176,7 +178,36 @@ def save_index(
     # The manifest goes last: its presence marks a complete snapshot.
     with open(manifest_path, "w") as handle:
         json.dump(manifest, handle, indent=2)
+    if obs.is_enabled():
+        _record_snapshot_op("save", index.name, time.perf_counter() - started, path)
     return path
+
+
+def _snapshot_bytes(path: str) -> int:
+    """Total on-disk size of a snapshot directory's files."""
+    total = 0
+    try:
+        for entry in os.scandir(path):
+            if entry.is_file():
+                total += entry.stat().st_size
+    except OSError:
+        pass
+    return total
+
+
+def _record_snapshot_op(op: str, method: str, seconds: float, path: str) -> None:
+    size = _snapshot_bytes(path)
+    obs.record_span(f"store.{op}_index", seconds, method=method, bytes=size)
+    registry = obs.registry()
+    registry.counter(
+        f"repro_snapshot_{op}s_total", f"Completed snapshot {op}s", method=method
+    ).inc()
+    registry.histogram(
+        f"repro_snapshot_{op}_seconds", f"Wall time per snapshot {op}", method=method
+    ).record(seconds)
+    registry.gauge(
+        "repro_snapshot_last_bytes", "On-disk size of the last snapshot touched", op=op
+    ).set(size)
 
 
 def read_manifest(path: str) -> Dict[str, object]:
@@ -225,6 +256,7 @@ def load_index(
     """
     from repro.registry import get_spec
 
+    started = time.perf_counter()
     manifest = read_manifest(path)
     try:
         method = manifest["method"]
@@ -279,4 +311,6 @@ def load_index(
             raise SnapshotFormatError(
                 f"corrupt snapshot kernel payload: {exc}"
             ) from exc
+    if obs.is_enabled():
+        _record_snapshot_op("load", index.name, time.perf_counter() - started, path)
     return index
