@@ -1,0 +1,45 @@
+"""repro.cluster — sharded multi-process serving over shared mmap snapshots.
+
+Where :mod:`repro.serving` runs one process whose threads interleave under
+the GIL (so measured QPS is capped by Lemma 1's single-core bound), this
+package forks N worker processes that each warm-start from the *same*
+mmap-backed snapshot (:mod:`repro.store`) at near-zero incremental RSS and
+answer query sub-batches on distinct cores — the first configuration that can
+honestly beat the analytic single-core bound on wall-clock hardware.
+
+Modules
+-------
+``engine``      :class:`ClusterEngine` — the ServingEngine-shaped front end:
+                epoch barrier, admission, republish lifecycle, stats.
+``dispatcher``  worker pool management: scatter/gather, liveness, respawn
+                from the last published generation + journal replay.
+``worker``      the child-process command loop (one shard).
+``routing``     partition-aware batch routing with hash fallback.
+
+Quickstart::
+
+    from repro.cluster import ClusterEngine
+
+    with ClusterEngine("snapshots/pmhl-ny", num_workers=4) as cluster:
+        distances = cluster.query_batch([(0, 143), (7, 2100)])
+        cluster.apply_batch(batch)          # two-phase epoch barrier
+        print(cluster.stats()["epoch"], cluster.published_snapshots)
+
+See DESIGN.md §11 for the dispatcher protocol, the epoch barrier, the
+snapshot republish lifecycle and the failure model.
+"""
+
+from repro.exceptions import ClusterError, ClusterWorkerError
+from repro.cluster.dispatcher import DEFAULT_WORKER_TIMEOUT, Dispatcher, WorkerHandle
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.routing import ShardRouter
+
+__all__ = [
+    "ClusterEngine",
+    "ClusterError",
+    "ClusterWorkerError",
+    "DEFAULT_WORKER_TIMEOUT",
+    "Dispatcher",
+    "ShardRouter",
+    "WorkerHandle",
+]

@@ -1,0 +1,162 @@
+"""The cluster worker process: one shard serving the shared snapshot.
+
+``worker_main`` is the child-process entry point.  It warm-starts an index
+with :func:`repro.store.load_index` from the snapshot path the dispatcher
+hands it — every worker maps the *same* mmap-backed ``.npz`` payload
+read-only, so N workers cost near-zero incremental RSS over one — replays the
+journal of update batches committed since that snapshot's epoch (empty unless
+the worker is a respawn or a late joiner), and then serves commands from its
+pipe until told to shut down.
+
+The protocol is strictly request/response over a ``multiprocessing`` pipe:
+the dispatcher sends ``(command, payload)`` tuples and the worker answers
+``("ok", result)`` or ``("err", message)``.  Pipes are FIFO, so within one
+worker every query sent before an update broadcast is answered at the
+pre-update epoch — the per-worker half of the cluster's epoch barrier.
+
+Commands
+--------
+``ping``            liveness check; replies with worker id, epoch and pid.
+``query``           answer a sub-batch of pairs via ``query_many`` at the
+                    worker's current epoch.
+``update``          install an :class:`~repro.graph.updates.UpdateBatch`
+                    (phase one of the two-phase barrier; the dispatcher
+                    commits the new epoch only after *every* worker acked).
+``publish``         persist this worker's index as the next snapshot
+                    generation (atomic write; see ``repro.store``).
+``partition_map``   the vertex→partition map behind partition-aware routing.
+``stats``           serving counters for dispatcher-side aggregation.
+``shutdown``        drain and exit cleanly.
+
+``_crash`` and ``_hang`` are failure-injection hooks for the robustness
+tests: they make the worker die mid-protocol or sleep through its timeout so
+the dispatcher's liveness/respawn machinery can be exercised determin-
+istically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional
+
+from repro.graph.updates import UpdateBatch
+
+
+def worker_main(
+    conn,
+    worker_id: int,
+    snapshot_path: str,
+    base_epoch: int,
+    journal: Optional[List[UpdateBatch]] = None,
+) -> None:
+    """Child-process entry point (see module docstring).
+
+    Parameters
+    ----------
+    conn:
+        The worker end of a ``multiprocessing.Pipe``.
+    worker_id:
+        Stable shard id (survives respawns).
+    snapshot_path:
+        Snapshot directory to warm-start from (the last published generation).
+    base_epoch:
+        Cluster epoch the snapshot at ``snapshot_path`` captured.
+    journal:
+        Update batches committed after ``base_epoch``, oldest first; replayed
+        before serving so a respawned worker rejoins at the cluster's current
+        epoch.
+    """
+    from repro.store import load_index
+
+    try:
+        index = load_index(snapshot_path)
+        epoch = base_epoch
+        for batch in journal or ():
+            index.apply_batch(batch)
+            epoch += 1
+
+        queries_served = 0
+        batches_applied = 0
+        query_seconds = 0.0
+        update_seconds = 0.0
+        publishes = 0
+
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # dispatcher went away; die quietly
+            command, payload = message
+            try:
+                if command == "ping":
+                    result = {"worker": worker_id, "epoch": epoch, "pid": os.getpid()}
+                elif command == "query":
+                    started = time.perf_counter()
+                    distances = index.query_many(payload)
+                    query_seconds += time.perf_counter() - started
+                    queries_served += len(payload)
+                    result = (epoch, distances)
+                elif command == "update":
+                    started = time.perf_counter()
+                    report = index.apply_batch(payload)
+                    update_seconds += time.perf_counter() - started
+                    batches_applied += 1
+                    epoch += 1
+                    result = (
+                        epoch,
+                        [(stage.name, stage.seconds) for stage in report.stages],
+                    )
+                elif command == "publish":
+                    path, generation, extras = payload
+                    from repro.store import save_index
+
+                    merged = dict(extras or {})
+                    merged["epoch"] = epoch
+                    merged["worker"] = worker_id
+                    save_index(
+                        index, path, extras=merged,
+                        generation=generation, atomic=True,
+                    )
+                    publishes += 1
+                    result = (epoch, path)
+                elif command == "partition_map":
+                    result = {
+                        vertex: partition
+                        for vertex in index.graph.vertices()
+                        if (partition := index.vertex_partition(vertex)) is not None
+                    }
+                elif command == "stats":
+                    result = {
+                        "worker": worker_id,
+                        "pid": os.getpid(),
+                        "epoch": epoch,
+                        "queries_served": queries_served,
+                        "batches_applied": batches_applied,
+                        "query_seconds": query_seconds,
+                        "update_seconds": update_seconds,
+                        "publishes": publishes,
+                    }
+                elif command == "_hang":
+                    time.sleep(payload)
+                    result = None
+                elif command == "_crash":
+                    os._exit(payload if isinstance(payload, int) else 13)
+                elif command == "shutdown":
+                    conn.send(("ok", None))
+                    break
+                else:
+                    conn.send(("err", f"unknown command {command!r}"))
+                    continue
+            except Exception as exc:  # report, keep serving later commands
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+                continue
+            conn.send(("ok", result))
+    finally:
+        # Return normally rather than os._exit: multiprocessing's bootstrap
+        # owns the exit (prints startup tracebacks, sets the exitcode) and
+        # subprocess coverage only flushes when ``run()`` completes.
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass

@@ -99,6 +99,21 @@ class ServingError(ReproError):
     """Base class for errors raised by the live query-serving engine."""
 
 
+class ClusterError(ServingError):
+    """Base class for errors raised by the sharded multi-process cluster."""
+
+
+class ClusterWorkerError(ClusterError):
+    """Raised when a cluster worker dies, hangs past its timeout, or reports
+    a command failure; the in-flight batch fails and the worker is respawned
+    from the last published snapshot."""
+
+    def __init__(self, worker_id: int, reason: str):
+        super().__init__(f"cluster worker {worker_id} failed: {reason}")
+        self.worker_id = worker_id
+        self.reason = reason
+
+
 class QueryRejectedError(ServingError):
     """Raised when admission control sheds a query to protect the QoS bound."""
 

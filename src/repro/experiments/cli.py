@@ -10,6 +10,8 @@ Usage::
     python -m repro.experiments snapshot info --path DIR
     python -m repro.experiments obs [--methods PMHL,PostMHL] [--side N]
                                     [--metrics-out FILE] [--trace-out FILE]
+    python -m repro.experiments cluster [--method PMHL] [--workers 4]
+                                        [--snapshot DIR] [--duration S]
 
 ``experiment-id`` is one of the keys of :data:`repro.experiments.EXPERIMENTS`
 (``table1``, ``exp1`` … ``exp9``, ``ablations``) or ``all``.  The driver's rows
@@ -20,7 +22,10 @@ redundant index construction; the ``snapshot`` subcommand manages standalone
 index snapshots (build-and-save, load-and-verify, inspect); the ``obs``
 subcommand runs an instrumented build/maintenance/query workload with
 ``repro.obs`` enabled and dumps a Prometheus-text metrics file plus a
-``chrome://tracing``-loadable trace.
+``chrome://tracing``-loadable trace; the ``cluster`` subcommand serves a
+mixed query/update workload from a sharded multi-process
+:class:`~repro.cluster.engine.ClusterEngine` over a shared mmap snapshot and
+reports per-shard counters and sustained QPS.
 """
 
 from __future__ import annotations
@@ -273,6 +278,122 @@ def _obs_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_cluster_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments cluster",
+        description="Serve a mixed query/update workload from a sharded "
+        "multi-process cluster over a shared mmap snapshot (repro.cluster).",
+    )
+    parser.add_argument(
+        "--snapshot",
+        default=None,
+        help="existing snapshot directory to cluster (default: build "
+        "--method on --dataset and snapshot it into a temp dir)",
+    )
+    parser.add_argument(
+        "--method", default="PMHL", help="registered method name (when building)"
+    )
+    parser.add_argument(
+        "--dataset", default="NY", help="synthetic dataset name (when building)"
+    )
+    parser.add_argument("--workers", type=int, default=4, help="shard process count")
+    parser.add_argument(
+        "--duration", type=float, default=3.0, help="seconds of closed-loop serving"
+    )
+    parser.add_argument(
+        "--batch-queries", type=int, default=256,
+        help="queries per dispatched batch (the cluster's unit of scatter)",
+    )
+    parser.add_argument(
+        "--update-batches", type=int, default=2,
+        help="update batches broadcast (two-phase epoch barrier) during the run",
+    )
+    parser.add_argument(
+        "--update-volume", type=int, default=20, help="edge updates per batch"
+    )
+    parser.add_argument("--qos", type=float, default=None, help="response QoS bound (s)")
+    parser.add_argument("--seed", type=int, default=5)
+    return parser
+
+
+def _cluster_main(argv: Sequence[str]) -> int:
+    args = build_cluster_parser().parse_args(argv)
+
+    import tempfile
+
+    from repro.cluster import ClusterEngine
+    from repro.graph.updates import generate_update_stream
+    from repro.store import load_snapshot_graph
+    from repro.throughput.workload import sample_query_pairs
+
+    with tempfile.TemporaryDirectory(prefix="repro_cluster_") as scratch:
+        snapshot = args.snapshot
+        if snapshot is None:
+            from repro.graph.generators import load_dataset
+            from repro.registry import create_index, spec_from_config
+            from repro.store import save_index
+
+            graph = load_dataset(args.dataset)
+            index = create_index(spec_from_config(args.method, DEFAULT_CONFIG), graph)
+            print(f"building {args.method} on {args.dataset} (n={graph.num_vertices})...")
+            index.build()
+            snapshot = f"{scratch}/gen-000000"
+            save_index(index, snapshot, atomic=True, generation=0)
+
+        graph = load_snapshot_graph(snapshot)
+        pairs = list(
+            sample_query_pairs(graph, max(args.batch_queries, 512), seed=args.seed)
+        )
+        batches = generate_update_stream(
+            graph, args.update_batches, args.update_volume, seed=args.seed + 1
+        )
+
+        engine = ClusterEngine(
+            snapshot,
+            num_workers=args.workers,
+            response_qos=args.qos,
+            publish_dir=f"{scratch}/gens",
+        )
+        with engine:
+            print(
+                f"cluster up: {engine.num_workers} workers over {snapshot} "
+                f"(partition_aware={engine.partition_aware})"
+            )
+            for batch in batches:
+                engine.submit_batch(batch)
+            deadline = time.perf_counter() + args.duration
+            served = 0
+            cursor = 0
+            while time.perf_counter() < deadline:
+                chunk = [
+                    pairs[(cursor + offset) % len(pairs)]
+                    for offset in range(args.batch_queries)
+                ]
+                cursor += args.batch_queries
+                served += len(engine.serve_batch(chunk))
+            engine.wait_for_maintenance()
+            stats = engine.stats()
+
+        print(
+            f"served {served} queries in {args.duration:.1f}s "
+            f"({stats['lifetime_qps']:.0f} QPS lifetime), epoch {stats['epoch']}, "
+            f"{stats['respawns']} respawns, generation {stats['generation']}"
+        )
+        latency = stats["latency"]
+        print(
+            f"latency p50/p95/p99: {latency['p50_seconds'] * 1e6:.0f}/"
+            f"{latency['p95_seconds'] * 1e6:.0f}/"
+            f"{latency['p99_seconds'] * 1e6:.0f} us (amortised per query)"
+        )
+        for row in stats["workers"]:
+            print(
+                f"  shard {row['worker']} (pid {row['pid']}): "
+                f"{row['queries_served']} queries, {row['batches_applied']} batches, "
+                f"epoch {row['epoch']}, {row['publishes']} publishes"
+            )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -281,6 +402,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _snapshot_main(argv[1:])
     if argv and argv[0] == "obs":
         return _obs_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        return _cluster_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.cache_dir:

@@ -257,6 +257,12 @@ class ServingEngine:
         its own; pass ``timeout`` (seconds) to bound the wait — on expiry a
         :class:`~repro.exceptions.ServingError` is raised and nothing is
         written.
+
+        The write is atomic (staging directory + rename): a concurrently
+        starting cluster worker warm-starting from ``path`` can never mmap a
+        half-written snapshot.  ``save_kwargs`` forward to
+        :func:`repro.store.save_index` — pass ``generation=`` to stamp the
+        manifest field the cluster's republish lifecycle reads.
         """
         from repro.store import save_index
 
@@ -286,6 +292,7 @@ class ServingEngine:
             epoch = self._epoch
             extras = dict(save_kwargs.pop("extras", None) or {})
             extras["epoch"] = epoch
+            save_kwargs.setdefault("atomic", True)
             save_index(self.index, path, extras=extras, **save_kwargs)
         finally:
             self._graph_rw.release_read()

@@ -21,6 +21,7 @@ from repro.store.snapshot import (
     SCHEMA_VERSION,
     graph_fingerprint,
     load_index,
+    load_snapshot_graph,
     read_manifest,
     save_index,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "save_index",
     "load_index",
+    "load_snapshot_graph",
     "read_manifest",
     "graph_fingerprint",
     "SnapshotError",

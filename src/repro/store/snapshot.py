@@ -31,6 +31,8 @@ import dataclasses
 import hashlib
 import json
 import os
+import shutil
+import tempfile
 import time
 from typing import Dict, Optional
 
@@ -104,6 +106,8 @@ def save_index(
     path: str,
     backend: Optional[str] = None,
     extras: Optional[Dict[str, object]] = None,
+    generation: Optional[int] = None,
+    atomic: bool = False,
 ) -> str:
     """Persist a built index (and its graph) as a snapshot directory.
 
@@ -119,6 +123,17 @@ def save_index(
     extras:
         Optional JSON-able metadata recorded in the manifest (e.g. the
         serving engine's epoch).
+    generation:
+        Monotonic publish counter recorded as the manifest's top-level
+        ``generation`` field (defaults to 0).  The cluster layer names each
+        republished snapshot with the next generation and reads this field
+        back when respawning workers.
+    atomic:
+        Serialize into a staging directory next to ``path`` and rename it
+        into place, so a concurrently-starting reader (e.g. a cluster worker
+        warm-starting from ``path``) can never open a half-written snapshot:
+        it sees the complete old snapshot, the complete new one, or a typed
+        :class:`~repro.exceptions.SnapshotFormatError` — never torn bytes.
     """
     if not index.is_built:
         raise SnapshotUnsupportedError("only built indexes can be snapshotted")
@@ -142,6 +157,46 @@ def save_index(
     if kernels:
         state["kernels"] = kernels
 
+    if atomic:
+        parent = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(parent, exist_ok=True)
+        staging = tempfile.mkdtemp(
+            prefix="." + os.path.basename(path) + ".tmp-", dir=parent
+        )
+        try:
+            _write_snapshot_files(index, staging, writer, spec, state, extras, generation)
+            if os.path.isdir(path):
+                # ``os.rename`` refuses a non-empty target; retire the old
+                # snapshot first.  Both renames are atomic, so a reader only
+                # ever finds a complete old or complete new directory at
+                # ``path`` (or, in the instant between the two renames, no
+                # directory — a typed SnapshotFormatError, never torn bytes).
+                retired = staging + ".old"
+                os.rename(path, retired)
+                os.rename(staging, path)
+                shutil.rmtree(retired, ignore_errors=True)
+            else:
+                os.rename(staging, path)
+        except Exception:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+    else:
+        _write_snapshot_files(index, path, writer, spec, state, extras, generation)
+    if obs.is_enabled():
+        _record_snapshot_op("save", index.name, time.perf_counter() - started, path)
+    return path
+
+
+def _write_snapshot_files(
+    index: DistanceIndex,
+    path: str,
+    writer: ArrayWriter,
+    spec,
+    state: Dict[str, object],
+    extras: Optional[Dict[str, object]],
+    generation: Optional[int],
+) -> None:
+    """Write payload, state and manifest into ``path`` (manifest last)."""
     os.makedirs(path, exist_ok=True)
     # Invalidate any existing snapshot *before* touching its files: payload
     # array names are deterministic (a0000, ...), so a crash mid-overwrite
@@ -161,6 +216,7 @@ def save_index(
         "payload": payload_name,
         "payload_backend": writer.backend,
         "state_file": _STATE,
+        "generation": int(generation) if generation is not None else 0,
         "graph": {
             "num_vertices": index.graph.num_vertices,
             "num_edges": index.graph.num_edges,
@@ -178,9 +234,6 @@ def save_index(
     # The manifest goes last: its presence marks a complete snapshot.
     with open(manifest_path, "w") as handle:
         json.dump(manifest, handle, indent=2)
-    if obs.is_enabled():
-        _record_snapshot_op("save", index.name, time.perf_counter() - started, path)
-    return path
 
 
 def _snapshot_bytes(path: str) -> int:
@@ -314,3 +367,29 @@ def load_index(
     if obs.is_enabled():
         _record_snapshot_op("load", index.name, time.perf_counter() - started, path)
     return index
+
+
+def load_snapshot_graph(path: str, mmap: bool = True) -> Graph:
+    """Reconstruct only the graph of a snapshot (no index state).
+
+    The cluster dispatcher uses this to keep a lightweight graph mirror for
+    vertex validation and per-epoch correctness oracles without paying a full
+    ``load_index`` in the dispatcher process.
+    """
+    manifest = read_manifest(path)
+    try:
+        payload_name = manifest["payload"]
+        payload_backend = manifest["payload_backend"]
+    except KeyError as exc:
+        raise SnapshotFormatError(f"snapshot manifest is missing field {exc}") from None
+    reader = open_payload(path, payload_name, payload_backend, mmap=mmap)
+    state_path = os.path.join(path, manifest.get("state_file", _STATE))
+    try:
+        with open(state_path) as handle:
+            state = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SnapshotFormatError(f"unreadable snapshot state {state_path!r}: {exc}") from exc
+    try:
+        return unpack_graph(state["graph"], reader)
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise SnapshotFormatError(f"corrupt snapshot graph payload: {exc}") from exc
