@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import platform
 import time
 from typing import Dict, List, Tuple
@@ -45,17 +46,20 @@ SPECS = {
 }
 
 #: Methods whose labels freeze into the CSR LabelStore (the H2H family) —
-#: the acceptance bar (≥5x batch, ≥2x scalar for H2H/PMHL/PostMHL) applies
-#: to these.
+#: the batch acceptance bar (≥12x vs pure Python) applies to these.
 H2H_FAMILY = ("DH2H", "MHL", "PMHL", "PostMHL")
+#: Methods whose query plane is a bidirectional search over frozen CSR
+#: arrays (GraphSnapshot / ShortcutStore) — the CH-search acceptance bar
+#: (≥2x scalar and batch) applies to these.
+CH_SEARCH_FAMILY = ("BiDijkstra", "DCH", "TOAIN", "N-CH-P", "P-TD-P")
 
-GRID = 16
+GRID = 52
 SCALAR_QUERIES = 400
 BATCH_QUERIES = 4000
 #: The per-pair search baselines (index-free / CH searches) are orders of
 #: magnitude slower per query; smaller counts keep the run short.
-SLOW_METHODS = {"BiDijkstra": (150, 600), "DCH": (200, 800), "TOAIN": (200, 800),
-                "N-CH-P": (150, 600), "P-TD-P": (200, 800)}
+SLOW_METHODS = {"BiDijkstra": (60, 240), "DCH": (150, 600), "TOAIN": (150, 600),
+                "N-CH-P": (60, 240), "P-TD-P": (150, 600)}
 
 
 def _measure(index, pairs: List[Tuple[int, int]], scalar_n: int) -> Dict[str, object]:
@@ -123,6 +127,7 @@ def run(out_path: str) -> Dict[str, object]:
             "scalar_speedup": pure["scalar_seconds"] / kernels["scalar_seconds"],
             "batch_speedup": pure["batch_seconds"] / kernels["batch_seconds"],
             "h2h_family": name in H2H_FAMILY,
+            "family": "h2h" if name in H2H_FAMILY else "ch_search",
         }
         report["methods"][name] = entry
         print(
@@ -132,10 +137,35 @@ def run(out_path: str) -> Dict[str, object]:
             f"({pure['batch_us_per_query']:8.1f} -> {kernels['batch_us_per_query']:7.1f} us)"
         )
 
+    report["families"] = _family_rows(report["methods"])
+    for family, row in report["families"].items():
+        print(
+            f"{family:>10}: scalar min {row['scalar_speedup_min']:.1f}x "
+            f"geomean {row['scalar_speedup_geomean']:.1f}x   "
+            f"batch min {row['batch_speedup_min']:.1f}x "
+            f"geomean {row['batch_speedup_geomean']:.1f}x"
+        )
+
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
     print(f"\nwrote {out_path}")
     return report
+
+
+def _family_rows(methods: Dict[str, Dict]) -> Dict[str, Dict[str, object]]:
+    """Per-family speedup summaries (the acceptance bars are per family)."""
+    rows: Dict[str, Dict[str, object]] = {}
+    for family, members in (("h2h", H2H_FAMILY), ("ch_search", CH_SEARCH_FAMILY)):
+        scalar = [methods[m]["scalar_speedup"] for m in members]
+        batch = [methods[m]["batch_speedup"] for m in members]
+        rows[family] = {
+            "methods": list(members),
+            "scalar_speedup_min": min(scalar),
+            "scalar_speedup_geomean": math.exp(sum(map(math.log, scalar)) / len(scalar)),
+            "batch_speedup_min": min(batch),
+            "batch_speedup_geomean": math.exp(sum(map(math.log, batch)) / len(batch)),
+        }
+    return rows
 
 
 def main() -> None:

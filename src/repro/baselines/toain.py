@@ -148,6 +148,14 @@ class TOAINIndex(DistanceIndex):
             raise VertexNotFoundError(target)
         if source == target:
             return 0.0
+        store = self._sub_core_store()
+        hub_store = self._hub_store() if store is not None else None
+        if hub_store is not None:
+            # Frozen plane: dense hub join + native sub-core search.  The
+            # join is the same minimum over the same float64 sums as the
+            # dict loop below, so both planes answer bit-identically.
+            best = hub_store.join_pair(source, target)
+            return min(best, store.query(source, target))
         labels_s = self.core_labels[source]
         labels_t = self.core_labels[target]
         best = INF
@@ -156,7 +164,6 @@ class TOAINIndex(DistanceIndex):
             if d_t is not None and d_s + d_t < best:
                 best = d_s + d_t
 
-        store = self._sub_core_store()
         if store is not None:
             below = store.query(source, target)
         else:
@@ -182,16 +189,27 @@ class TOAINIndex(DistanceIndex):
             if target not in contraction.rank:
                 raise VertexNotFoundError(target)
 
-        # The dense-vector join only pays off once the batch amortises the
-        # scatter; tiny source groups stay on the (bit-identical) dict join.
-        hub_store = self._hub_store() if len(targets) >= 8 else None
         sub_core_store = self._sub_core_store()
-        if hub_store is not None and sub_core_store is not None:
+        hub_store = self._hub_store() if sub_core_store is not None else None
+        if hub_store is not None:
+            # The one-scatter-many-gathers join only pays off once the batch
+            # amortises the dense source vector; tiny source groups loop the
+            # (bit-identical) frozen scalar plane instead.
+            if len(targets) < 8:
+                return [
+                    0.0
+                    if source == target
+                    else min(
+                        hub_store.join_pair(source, target),
+                        sub_core_store.query(source, target),
+                    )
+                    for target in targets
+                ]
             joined = hub_store.join_one_to_many(source, targets)
+            below = sub_core_store.one_to_many(source, targets)
             return [
-                0.0 if source == target
-                else min(best, sub_core_store.query(source, target))
-                for target, best in zip(targets, joined)
+                0.0 if source == target else min(best, b)
+                for target, best, b in zip(targets, joined, below)
             ]
         if sub_core_store is not None:
             labels_s = self.core_labels[source]

@@ -159,6 +159,47 @@ class CHIndex(DistanceIndex):
             return store.query(source, target)
         return ch_bidirectional_query(source, target, self.upward_neighbors)
 
+    def query_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """The scalar search per target, looped natively when frozen.
+
+        Each pair is answered by exactly the scalar bidirectional search (the
+        native batch is the same search looped in C), so results match the
+        scalar path bit for bit.
+        """
+        contraction = self._require_built()
+        if source not in contraction.rank:
+            raise VertexNotFoundError(source)
+        targets = list(targets)
+        for target in targets:
+            if target not in contraction.rank:
+                raise VertexNotFoundError(target)
+        store = self._shortcut_store()
+        if store is not None:
+            return store.one_to_many(source, targets)
+        return [
+            0.0
+            if source == target
+            else ch_bidirectional_query(source, target, self.upward_neighbors)
+            for target in targets
+        ]
+
+    def query_many(self, pairs) -> List[float]:
+        """Arbitrary pair batches in one native call when frozen."""
+        pair_list = list(pairs)
+        if not pair_list:
+            return []
+        contraction = self._require_built()
+        rank = contraction.rank
+        for source, target in pair_list:
+            if source not in rank:
+                raise VertexNotFoundError(source)
+            if target not in rank:
+                raise VertexNotFoundError(target)
+        store = self._shortcut_store()
+        if store is not None:
+            return store.query_pairs(pair_list)
+        return super().query_many(pair_list)
+
     def _apply_batch(self, batch: UpdateBatch) -> UpdateReport:
         raise NotImplementedError(
             "CHIndex is static; use DCHIndex for dynamic maintenance"
@@ -223,10 +264,11 @@ class DCHIndex(CHIndex):
 class DCHSpec(IndexSpec):
     """Construction spec for the dynamic CH baseline (no knobs).
 
-    DCH keeps the base class's scalar batch loop: its query is a pruned
-    bidirectional search whose result depends on the interleaving of the two
-    frontiers, so any shared-search amortisation would perturb the
-    floating-point rounding of the scalar path.
+    DCH's batch plane stays a per-pair loop of the scalar search: its query
+    is a pruned bidirectional search whose result depends on the interleaving
+    of the two frontiers, so any shared-search amortisation would perturb the
+    floating-point rounding of the scalar path.  The native kernel keeps that
+    contract — it loops the identical search in C, one pair at a time.
     """
 
     method = "DCH"

@@ -4,14 +4,20 @@ After a build or update batch completes, each index *freezes* its query-side
 state into immutable flat stores (see the per-module docs):
 
 * :class:`~repro.kernels.label_store.LabelStore` — CSR distance/position
-  arrays + flattened LCA for H2H-family labels, with a native (C) scalar
-  backend and a vectorized numpy batch backend;
+  arrays + flattened LCA for H2H-family labels, with native (C) scalar and
+  batch backends and a vectorized numpy batch fallback;
 * :class:`~repro.kernels.graph_snapshot.GraphSnapshot` — CSR adjacency for
-  the index-free stage-1 searches;
+  the index-free stage-1 searches, with a native bidirectional-search /
+  one-to-many kernel;
 * :class:`~repro.kernels.shortcut_store.ShortcutStore` — materialised upward
-  adjacency for CH-style bidirectional searches;
+  adjacency for CH-style bidirectional searches (native scalar + batch);
 * :class:`~repro.kernels.hub_store.HubStore` — flattened hub-label table for
   TOAIN's check-in join.
+
+Every store packs its arrays into one :class:`~repro.kernels.arena.Arena` —
+the unified buffer ``repro.store`` serializes as a single payload and
+``repro.cluster`` shards mmap-share, and whose views the C kernels borrow
+without copying.
 
 Freezing is lazy (first query after an invalidation) and keyed to the
 index's kernel epoch (see ``repro.base.DistanceIndex.invalidate_kernels``),
@@ -21,6 +27,7 @@ to the pure-Python paths, which remain in place as the reference
 implementation (``use_kernels=False``).
 """
 
+from repro.kernels.arena import Arena
 from repro.kernels.graph_snapshot import GraphSnapshot
 from repro.kernels.hub_store import HubStore
 from repro.kernels.label_store import LabelStore
@@ -28,6 +35,7 @@ from repro.kernels.native import native_kernel, native_kernel_error
 from repro.kernels.shortcut_store import ShortcutStore
 
 __all__ = [
+    "Arena",
     "GraphSnapshot",
     "HubStore",
     "LabelStore",

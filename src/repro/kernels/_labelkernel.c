@@ -1,89 +1,126 @@
-/* Native hub-scan kernel for frozen H2H-family label stores.
+/* Native kernels for the frozen query stores of repro.kernels.
  *
- * The store is an immutable CSR snapshot of one H2HLabels instance plus the
- * Euler-tour LCA arrays of its tree decomposition:
+ * Two capsule types are exported:
  *
- *   comp[r]        component id of row r (forest support),
- *   first[r]       first Euler-tour position of row r,
- *   logs[i]        floor(log2(i)) lookup for the sparse-table RMQ,
- *   tbl_flat/off   sparse-table levels, entries packed as depth<<shift|row
- *                  so the range-minimum over depths is an integer minimum,
- *   pos_indptr/..  CSR of the per-node hub positions X(v).pos,
- *   dis_indptr/..  CSR of the per-row distance arrays X(v).dis.
+ * 1. "repro.kernels.labelstore" -- an H2H-family label store: the CSR
+ *    distance/position arrays of one H2HLabels instance plus the flattened
+ *    Euler-tour LCA arrays of its tree decomposition:
  *
- * query(rs, rt) performs exactly the reference Python arithmetic — LCA via
- * RMQ, then min over i in pos[lca] of dis_s[i] + dis_t[i] — so results are
- * bit-identical to H2HLabels.query.  one_to_many/pairs loop the same body in
- * C, writing into a caller-provided float64 buffer.
+ *      comp[r]        component id of row r (forest support),
+ *      first[r]       first Euler-tour position of row r,
+ *      logs[i]        floor(log2(i)) lookup for the sparse-table RMQ,
+ *      tbl_flat/off   sparse-table levels, entries packed as depth<<shift|row
+ *                     so the range-minimum over depths is an integer minimum,
+ *      pos_indptr/..  CSR of the per-node hub positions X(v).pos,
+ *      dis_indptr/..  CSR of the per-row distance arrays X(v).dis.
+ *
+ *    query(rs, rt) performs exactly the reference Python arithmetic -- LCA
+ *    via RMQ, then min over i in pos[lca] of dis_s[i] + dis_t[i] -- so
+ *    results are bit-identical to H2HLabels.query.  one_to_many/query_pairs
+ *    loop the same body in C over caller-provided int64 row buffers, writing
+ *    into a float64 output buffer: one call per batch, no per-query Python.
+ *
+ * 2. "repro.kernels.searchgraph" -- a CSR adjacency (graph snapshot or
+ *    CH-style upward shortcut arrays) for the Dijkstra-family searches:
+ *
+ *      ids[r]         original vertex id of row r (heap tie-break key),
+ *      indptr[r]..    CSR of the adjacency rows (neighbor rows + weights).
+ *
+ *    The searches are literal ports of the pure-Python references
+ *    (GraphSnapshot.bidijkstra / GraphSnapshot._dijkstra /
+ *    ShortcutStore.query): heaps are keyed by (distance, original id)
+ *    exactly like heapq's (dist, vertex) tuples, rows relax neighbours in
+ *    CSR order (the adjacency-dict iteration order), and every float
+ *    operation is the same float64 add/compare -- so the pop sequence, the
+ *    relaxation sequence and therefore the returned distances are
+ *    bit-identical to the Python searches.
+ *
+ * Neither capsule copies its arrays: buffers are borrowed via the buffer
+ * protocol (views held for the capsule's lifetime), so the kernels execute
+ * directly over the owning store's arena -- including mmap-backed arenas
+ * shared across repro.cluster shard processes.
+ *
+ * No function releases the GIL; concurrent Python threads therefore
+ * serialize around the shared per-capsule scratch space by construction.
  */
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
 #include <stdint.h>
 #include <string.h>
 
-static const char *CAPSULE_NAME = "repro.kernels.labelstore";
+static const char *LABEL_CAPSULE = "repro.kernels.labelstore";
+static const char *SEARCH_CAPSULE = "repro.kernels.searchgraph";
+
+/* ------------------------------------------------------------------ */
+/* Borrowed-buffer helpers                                            */
+/* ------------------------------------------------------------------ */
+
+/* Borrow a C-contiguous buffer of 8-byte items; on success the view must be
+ * released by the caller's destructor. */
+static int borrow_buffer(PyObject *obj, Py_buffer *view, const void **data,
+                         Py_ssize_t *count) {
+    if (PyObject_GetBuffer(obj, view, PyBUF_C_CONTIGUOUS) < 0) {
+        return -1;
+    }
+    if (view->itemsize != 8) {
+        PyBuffer_Release(view);
+        view->obj = NULL;
+        PyErr_SetString(PyExc_TypeError, "kernel buffers must have 8-byte items");
+        return -1;
+    }
+    *data = view->buf;
+    *count = view->len / view->itemsize;
+    return 0;
+}
+
+static void release_views(Py_buffer *views, int count) {
+    for (int i = 0; i < count; i++) {
+        if (views[i].obj != NULL) {
+            PyBuffer_Release(&views[i]);
+            views[i].obj = NULL;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Label store                                                        */
+/* ------------------------------------------------------------------ */
+
+enum { L_COMP, L_FIRST, L_LOGS, L_TBL_FLAT, L_TBL_OFF,
+       L_POS_INDPTR, L_POS_DATA, L_DIS_INDPTR, L_DIS_DATA, L_NVIEWS };
 
 typedef struct {
     int64_t n;
     int64_t mask;
-    int64_t *comp;
-    int64_t *first;
-    int64_t *logs;
-    int64_t *tbl_flat;
-    int64_t *tbl_off;
-    int64_t *pos_indptr;
-    int64_t *pos_data;
-    int64_t *dis_indptr;
-    double *dis_data;
+    Py_buffer views[L_NVIEWS];
+    const int64_t *comp;
+    const int64_t *first;
+    const int64_t *logs;
+    const int64_t *tbl_flat;
+    const int64_t *tbl_off;
+    const int64_t *pos_indptr;
+    const int64_t *pos_data;
+    const int64_t *dis_indptr;
+    const double *dis_data;
 } LabelStore;
 
-static void store_destructor(PyObject *capsule) {
-    LabelStore *st = (LabelStore *)PyCapsule_GetPointer(capsule, CAPSULE_NAME);
+static void label_destructor(PyObject *capsule) {
+    LabelStore *st = (LabelStore *)PyCapsule_GetPointer(capsule, LABEL_CAPSULE);
     if (st != NULL) {
-        free(st->comp);
-        free(st->first);
-        free(st->logs);
-        free(st->tbl_flat);
-        free(st->tbl_off);
-        free(st->pos_indptr);
-        free(st->pos_data);
-        free(st->dis_indptr);
-        free(st->dis_data);
+        release_views(st->views, L_NVIEWS);
         free(st);
     }
 }
 
-/* Copy a C-contiguous buffer of 8-byte items into malloc'd memory. */
-static int copy_buffer(PyObject *obj, void **out, Py_ssize_t *count) {
-    Py_buffer view;
-    if (PyObject_GetBuffer(obj, &view, PyBUF_C_CONTIGUOUS) < 0) {
-        return -1;
-    }
-    if (view.itemsize != 8) {
-        PyBuffer_Release(&view);
-        PyErr_SetString(PyExc_TypeError, "label-store buffers must have 8-byte items");
-        return -1;
-    }
-    void *mem = malloc(view.len > 0 ? (size_t)view.len : 1);
-    if (mem == NULL) {
-        PyBuffer_Release(&view);
-        PyErr_NoMemory();
-        return -1;
-    }
-    memcpy(mem, view.buf, (size_t)view.len);
-    *out = mem;
-    *count = view.len / view.itemsize;
-    PyBuffer_Release(&view);
-    return 0;
-}
-
-static PyObject *build(PyObject *self, PyObject *args) {
-    PyObject *comp, *first, *logs, *tbl_flat, *tbl_off;
-    PyObject *pos_indptr, *pos_data, *dis_indptr, *dis_data;
+static PyObject *label_build(PyObject *self, PyObject *args) {
+    PyObject *objs[L_NVIEWS];
     long long mask;
-    if (!PyArg_ParseTuple(args, "LOOOOOOOOO", &mask, &comp, &first, &logs,
-                          &tbl_flat, &tbl_off, &pos_indptr, &pos_data,
-                          &dis_indptr, &dis_data)) {
+    (void)self;
+    if (!PyArg_ParseTuple(args, "LOOOOOOOOO", &mask, &objs[L_COMP],
+                          &objs[L_FIRST], &objs[L_LOGS], &objs[L_TBL_FLAT],
+                          &objs[L_TBL_OFF], &objs[L_POS_INDPTR],
+                          &objs[L_POS_DATA], &objs[L_DIS_INDPTR],
+                          &objs[L_DIS_DATA])) {
         return NULL;
     }
     LabelStore *st = (LabelStore *)calloc(1, sizeof(LabelStore));
@@ -91,34 +128,42 @@ static PyObject *build(PyObject *self, PyObject *args) {
         return PyErr_NoMemory();
     }
     st->mask = (int64_t)mask;
-    Py_ssize_t count;
-    if (copy_buffer(comp, (void **)&st->comp, &count) < 0) goto fail;
-    st->n = count;
-    if (copy_buffer(first, (void **)&st->first, &count) < 0) goto fail;
-    if (copy_buffer(logs, (void **)&st->logs, &count) < 0) goto fail;
-    if (copy_buffer(tbl_flat, (void **)&st->tbl_flat, &count) < 0) goto fail;
-    if (copy_buffer(tbl_off, (void **)&st->tbl_off, &count) < 0) goto fail;
-    if (copy_buffer(pos_indptr, (void **)&st->pos_indptr, &count) < 0) goto fail;
-    if (copy_buffer(pos_data, (void **)&st->pos_data, &count) < 0) goto fail;
-    if (copy_buffer(dis_indptr, (void **)&st->dis_indptr, &count) < 0) goto fail;
-    if (copy_buffer(dis_data, (void **)&st->dis_data, &count) < 0) goto fail;
-    return PyCapsule_New(st, CAPSULE_NAME, store_destructor);
-fail:
-    free(st->comp);
-    free(st->first);
-    free(st->logs);
-    free(st->tbl_flat);
-    free(st->tbl_off);
-    free(st->pos_indptr);
-    free(st->pos_data);
-    free(st->dis_indptr);
-    free(st->dis_data);
-    free(st);
-    return NULL;
+    const void *ptrs[L_NVIEWS];
+    Py_ssize_t counts[L_NVIEWS];
+    for (int i = 0; i < L_NVIEWS; i++) {
+        if (borrow_buffer(objs[i], &st->views[i], &ptrs[i], &counts[i]) < 0) {
+            release_views(st->views, i);
+            free(st);
+            return NULL;
+        }
+    }
+    st->n = counts[L_COMP];
+    st->comp = (const int64_t *)ptrs[L_COMP];
+    st->first = (const int64_t *)ptrs[L_FIRST];
+    st->logs = (const int64_t *)ptrs[L_LOGS];
+    st->tbl_flat = (const int64_t *)ptrs[L_TBL_FLAT];
+    st->tbl_off = (const int64_t *)ptrs[L_TBL_OFF];
+    st->pos_indptr = (const int64_t *)ptrs[L_POS_INDPTR];
+    st->pos_data = (const int64_t *)ptrs[L_POS_DATA];
+    st->dis_indptr = (const int64_t *)ptrs[L_DIS_INDPTR];
+    st->dis_data = (const double *)ptrs[L_DIS_DATA];
+    if (counts[L_FIRST] != st->n || counts[L_POS_INDPTR] != st->n + 1 ||
+        counts[L_DIS_INDPTR] != st->n + 1) {
+        release_views(st->views, L_NVIEWS);
+        free(st);
+        PyErr_SetString(PyExc_ValueError, "label-store arrays have inconsistent lengths");
+        return NULL;
+    }
+    PyObject *capsule = PyCapsule_New(st, LABEL_CAPSULE, label_destructor);
+    if (capsule == NULL) {
+        release_views(st->views, L_NVIEWS);
+        free(st);
+    }
+    return capsule;
 }
 
 /* The shared query body: assumes 0 <= rs, rt < n and rs != rt. */
-static inline double query_rows(const LabelStore *st, int64_t rs, int64_t rt) {
+static inline double label_query_rows(const LabelStore *st, int64_t rs, int64_t rt) {
     if (st->comp[rs] != st->comp[rt]) {
         return Py_HUGE_VAL;
     }
@@ -151,16 +196,17 @@ static inline double query_rows(const LabelStore *st, int64_t rs, int64_t rt) {
     return best;
 }
 
-static LabelStore *store_from_arg(PyObject *arg) {
-    return (LabelStore *)PyCapsule_GetPointer(arg, CAPSULE_NAME);
+static LabelStore *label_from_arg(PyObject *arg) {
+    return (LabelStore *)PyCapsule_GetPointer(arg, LABEL_CAPSULE);
 }
 
-static PyObject *query(PyObject *self, PyObject *const *args, Py_ssize_t nargs) {
+static PyObject *label_query(PyObject *self, PyObject *const *args, Py_ssize_t nargs) {
+    (void)self;
     if (nargs != 3) {
         PyErr_SetString(PyExc_TypeError, "query(store, rs, rt) takes 3 arguments");
         return NULL;
     }
-    LabelStore *st = store_from_arg(args[0]);
+    LabelStore *st = label_from_arg(args[0]);
     if (st == NULL) {
         return NULL;
     }
@@ -176,16 +222,38 @@ static PyObject *query(PyObject *self, PyObject *const *args, Py_ssize_t nargs) 
     if (rs == rt) {
         return PyFloat_FromDouble(0.0);
     }
-    return PyFloat_FromDouble(query_rows(st, rs, rt));
+    return PyFloat_FromDouble(label_query_rows(st, rs, rt));
+}
+
+/* Fetch matching (t_rows int64, out float64 writable) buffers. */
+static int pair_buffers(PyObject *rows_obj, PyObject *out_obj, Py_buffer *rows,
+                        Py_buffer *out) {
+    if (PyObject_GetBuffer(rows_obj, rows, PyBUF_C_CONTIGUOUS) < 0) {
+        return -1;
+    }
+    if (PyObject_GetBuffer(out_obj, out, PyBUF_C_CONTIGUOUS | PyBUF_WRITABLE) < 0) {
+        PyBuffer_Release(rows);
+        return -1;
+    }
+    if (rows->itemsize != 8 || out->itemsize != 8 || rows->len != out->len) {
+        PyBuffer_Release(rows);
+        PyBuffer_Release(out);
+        PyErr_SetString(PyExc_TypeError, "row/out must be matching 8-byte buffers");
+        return -1;
+    }
+    return 0;
 }
 
 /* one_to_many(store, rs, t_rows_int64_buffer, out_float64_buffer) */
-static PyObject *one_to_many(PyObject *self, PyObject *const *args, Py_ssize_t nargs) {
+static PyObject *label_one_to_many(PyObject *self, PyObject *const *args,
+                                   Py_ssize_t nargs) {
+    (void)self;
     if (nargs != 4) {
-        PyErr_SetString(PyExc_TypeError, "one_to_many(store, rs, t_rows, out) takes 4 arguments");
+        PyErr_SetString(PyExc_TypeError,
+                        "one_to_many(store, rs, t_rows, out) takes 4 arguments");
         return NULL;
     }
-    LabelStore *st = store_from_arg(args[0]);
+    LabelStore *st = label_from_arg(args[0]);
     if (st == NULL) {
         return NULL;
     }
@@ -198,17 +266,7 @@ static PyObject *one_to_many(PyObject *self, PyObject *const *args, Py_ssize_t n
         return NULL;
     }
     Py_buffer t_view, out_view;
-    if (PyObject_GetBuffer(args[2], &t_view, PyBUF_C_CONTIGUOUS) < 0) {
-        return NULL;
-    }
-    if (PyObject_GetBuffer(args[3], &out_view, PyBUF_C_CONTIGUOUS | PyBUF_WRITABLE) < 0) {
-        PyBuffer_Release(&t_view);
-        return NULL;
-    }
-    if (t_view.itemsize != 8 || out_view.itemsize != 8 || t_view.len != out_view.len) {
-        PyBuffer_Release(&t_view);
-        PyBuffer_Release(&out_view);
-        PyErr_SetString(PyExc_TypeError, "t_rows/out must be matching 8-byte buffers");
+    if (pair_buffers(args[2], args[3], &t_view, &out_view) < 0) {
         return NULL;
     }
     const int64_t *t_rows = (const int64_t *)t_view.buf;
@@ -222,7 +280,7 @@ static PyObject *one_to_many(PyObject *self, PyObject *const *args, Py_ssize_t n
             PyErr_SetString(PyExc_IndexError, "label-store row out of range");
             return NULL;
         }
-        out[i] = (rt == rs) ? 0.0 : query_rows(st, rs, rt);
+        out[i] = (rt == rs) ? 0.0 : label_query_rows(st, rs, rt);
     }
     PyBuffer_Release(&t_view);
     PyBuffer_Release(&out_view);
@@ -230,12 +288,15 @@ static PyObject *one_to_many(PyObject *self, PyObject *const *args, Py_ssize_t n
 }
 
 /* query_pairs(store, s_rows_int64_buffer, t_rows_int64_buffer, out_float64_buffer) */
-static PyObject *query_pairs(PyObject *self, PyObject *const *args, Py_ssize_t nargs) {
+static PyObject *label_query_pairs(PyObject *self, PyObject *const *args,
+                                   Py_ssize_t nargs) {
+    (void)self;
     if (nargs != 4) {
-        PyErr_SetString(PyExc_TypeError, "query_pairs(store, s_rows, t_rows, out) takes 4 arguments");
+        PyErr_SetString(PyExc_TypeError,
+                        "query_pairs(store, s_rows, t_rows, out) takes 4 arguments");
         return NULL;
     }
-    LabelStore *st = store_from_arg(args[0]);
+    LabelStore *st = label_from_arg(args[0]);
     if (st == NULL) {
         return NULL;
     }
@@ -243,21 +304,16 @@ static PyObject *query_pairs(PyObject *self, PyObject *const *args, Py_ssize_t n
     if (PyObject_GetBuffer(args[1], &s_view, PyBUF_C_CONTIGUOUS) < 0) {
         return NULL;
     }
-    if (PyObject_GetBuffer(args[2], &t_view, PyBUF_C_CONTIGUOUS) < 0) {
+    if (pair_buffers(args[2], args[3], &t_view, &out_view) < 0) {
         PyBuffer_Release(&s_view);
         return NULL;
     }
-    if (PyObject_GetBuffer(args[3], &out_view, PyBUF_C_CONTIGUOUS | PyBUF_WRITABLE) < 0) {
-        PyBuffer_Release(&s_view);
-        PyBuffer_Release(&t_view);
-        return NULL;
-    }
-    if (s_view.itemsize != 8 || t_view.itemsize != 8 || out_view.itemsize != 8 ||
-        s_view.len != t_view.len || s_view.len != out_view.len) {
+    if (s_view.itemsize != 8 || s_view.len != t_view.len) {
         PyBuffer_Release(&s_view);
         PyBuffer_Release(&t_view);
         PyBuffer_Release(&out_view);
-        PyErr_SetString(PyExc_TypeError, "s_rows/t_rows/out must be matching 8-byte buffers");
+        PyErr_SetString(PyExc_TypeError,
+                        "s_rows/t_rows/out must be matching 8-byte buffers");
         return NULL;
     }
     const int64_t *s_rows = (const int64_t *)s_view.buf;
@@ -274,7 +330,7 @@ static PyObject *query_pairs(PyObject *self, PyObject *const *args, Py_ssize_t n
             PyErr_SetString(PyExc_IndexError, "label-store row out of range");
             return NULL;
         }
-        out[i] = (rs == rt) ? 0.0 : query_rows(st, rs, rt);
+        out[i] = (rs == rt) ? 0.0 : label_query_rows(st, rs, rt);
     }
     PyBuffer_Release(&s_view);
     PyBuffer_Release(&t_view);
@@ -282,20 +338,511 @@ static PyObject *query_pairs(PyObject *self, PyObject *const *args, Py_ssize_t n
     Py_RETURN_NONE;
 }
 
+/* ------------------------------------------------------------------ */
+/* CSR search graph                                                   */
+/* ------------------------------------------------------------------ */
+
+/* Heap entries mirror heapq's (distance, original-vertex-id) tuples; the row
+ * rides along so relaxation never maps ids back to rows. */
+typedef struct {
+    double dist;
+    int64_t id;
+    int64_t row;
+} HeapEntry;
+
+typedef struct {
+    HeapEntry *items;
+    Py_ssize_t size;
+    Py_ssize_t cap;
+} Heap;
+
+static inline int heap_less(const HeapEntry *a, const HeapEntry *b) {
+    if (a->dist != b->dist) {
+        return a->dist < b->dist;
+    }
+    return a->id < b->id;
+}
+
+static int heap_push(Heap *heap, double dist, int64_t id, int64_t row) {
+    if (heap->size == heap->cap) {
+        Py_ssize_t cap = heap->cap ? heap->cap * 2 : 256;
+        HeapEntry *items = (HeapEntry *)realloc(heap->items,
+                                                (size_t)cap * sizeof(HeapEntry));
+        if (items == NULL) {
+            return -1;
+        }
+        heap->items = items;
+        heap->cap = cap;
+    }
+    Py_ssize_t i = heap->size++;
+    HeapEntry entry = {dist, id, row};
+    while (i > 0) {
+        Py_ssize_t parent = (i - 1) / 2;
+        if (!heap_less(&entry, &heap->items[parent])) {
+            break;
+        }
+        heap->items[i] = heap->items[parent];
+        i = parent;
+    }
+    heap->items[i] = entry;
+    return 0;
+}
+
+static HeapEntry heap_pop(Heap *heap) {
+    HeapEntry top = heap->items[0];
+    HeapEntry last = heap->items[--heap->size];
+    Py_ssize_t i = 0;
+    for (;;) {
+        Py_ssize_t child = 2 * i + 1;
+        if (child >= heap->size) {
+            break;
+        }
+        if (child + 1 < heap->size &&
+            heap_less(&heap->items[child + 1], &heap->items[child])) {
+            child++;
+        }
+        if (!heap_less(&heap->items[child], &last)) {
+            break;
+        }
+        heap->items[i] = heap->items[child];
+        i = child;
+    }
+    heap->items[i] = last;
+    return top;
+}
+
+enum { S_IDS, S_INDPTR, S_INDICES, S_WEIGHTS, S_NVIEWS };
+
+typedef struct {
+    int64_t n;
+    Py_buffer views[S_NVIEWS];
+    const int64_t *ids;
+    const int64_t *indptr;
+    const int64_t *indices;
+    const double *weights;
+    /* Reusable per-query scratch (validity tracked by query stamps, so a new
+     * query never pays an O(n) reset).  Guarded by the GIL. */
+    int64_t stamp;
+    int64_t *dist_stamp_f, *dist_stamp_b;
+    int64_t *settled_stamp_f, *settled_stamp_b;
+    double *dist_f, *dist_b;
+    double *settled_val;
+    Heap heap_f, heap_b;
+} SearchGraph;
+
+static void search_destructor(PyObject *capsule) {
+    SearchGraph *g = (SearchGraph *)PyCapsule_GetPointer(capsule, SEARCH_CAPSULE);
+    if (g != NULL) {
+        release_views(g->views, S_NVIEWS);
+        free(g->dist_stamp_f);
+        free(g->dist_stamp_b);
+        free(g->settled_stamp_f);
+        free(g->settled_stamp_b);
+        free(g->dist_f);
+        free(g->dist_b);
+        free(g->settled_val);
+        free(g->heap_f.items);
+        free(g->heap_b.items);
+        free(g);
+    }
+}
+
+/* search_build(ids, indptr, indices, weights) -> graph capsule */
+static PyObject *search_build(PyObject *self, PyObject *args) {
+    PyObject *objs[S_NVIEWS];
+    (void)self;
+    if (!PyArg_ParseTuple(args, "OOOO", &objs[S_IDS], &objs[S_INDPTR],
+                          &objs[S_INDICES], &objs[S_WEIGHTS])) {
+        return NULL;
+    }
+    SearchGraph *g = (SearchGraph *)calloc(1, sizeof(SearchGraph));
+    if (g == NULL) {
+        return PyErr_NoMemory();
+    }
+    const void *ptrs[S_NVIEWS];
+    Py_ssize_t counts[S_NVIEWS];
+    for (int i = 0; i < S_NVIEWS; i++) {
+        if (borrow_buffer(objs[i], &g->views[i], &ptrs[i], &counts[i]) < 0) {
+            release_views(g->views, i);
+            free(g);
+            return NULL;
+        }
+    }
+    g->n = counts[S_IDS];
+    g->ids = (const int64_t *)ptrs[S_IDS];
+    g->indptr = (const int64_t *)ptrs[S_INDPTR];
+    g->indices = (const int64_t *)ptrs[S_INDICES];
+    g->weights = (const double *)ptrs[S_WEIGHTS];
+    int valid = counts[S_INDPTR] == g->n + 1 &&
+                counts[S_INDICES] == counts[S_WEIGHTS] &&
+                (g->n == 0 || g->indptr[g->n] == counts[S_INDICES]);
+    if (valid) {
+        for (int64_t e = 0; e < counts[S_INDICES]; e++) {
+            if (g->indices[e] < 0 || g->indices[e] >= g->n) {
+                valid = 0;
+                break;
+            }
+        }
+    }
+    if (!valid) {
+        release_views(g->views, S_NVIEWS);
+        free(g);
+        PyErr_SetString(PyExc_ValueError, "search-graph CSR arrays are inconsistent");
+        return NULL;
+    }
+    PyObject *capsule = PyCapsule_New(g, SEARCH_CAPSULE, search_destructor);
+    if (capsule == NULL) {
+        release_views(g->views, S_NVIEWS);
+        free(g);
+    }
+    return capsule;
+}
+
+static SearchGraph *search_from_arg(PyObject *arg) {
+    return (SearchGraph *)PyCapsule_GetPointer(arg, SEARCH_CAPSULE);
+}
+
+static int search_scratch(SearchGraph *g) {
+    if (g->dist_stamp_f != NULL) {
+        return 0;
+    }
+    size_t n = (size_t)(g->n > 0 ? g->n : 1);
+    g->dist_stamp_f = (int64_t *)calloc(n, sizeof(int64_t));
+    g->dist_stamp_b = (int64_t *)calloc(n, sizeof(int64_t));
+    g->settled_stamp_f = (int64_t *)calloc(n, sizeof(int64_t));
+    g->settled_stamp_b = (int64_t *)calloc(n, sizeof(int64_t));
+    g->dist_f = (double *)malloc(n * sizeof(double));
+    g->dist_b = (double *)malloc(n * sizeof(double));
+    g->settled_val = (double *)malloc(n * sizeof(double));
+    if (g->dist_stamp_f == NULL || g->dist_stamp_b == NULL ||
+        g->settled_stamp_f == NULL || g->settled_stamp_b == NULL ||
+        g->dist_f == NULL || g->dist_b == NULL || g->settled_val == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    g->stamp = 0;
+    return 0;
+}
+
+/* Bidirectional search body; `ch_mode` selects the stopping rule:
+ *   0 -> GraphSnapshot.bidijkstra:  stop when best <= top_f + top_b
+ *   1 -> ShortcutStore.query:       stop when min(top_f, top_b) >= best
+ * Both are literal ports (same alternation, same lazy deletion, same float
+ * arithmetic) of the Python references. */
+static double search_bidirectional(SearchGraph *g, int64_t rs, int64_t rt,
+                                   int ch_mode, int *failed) {
+    *failed = 0;
+    if (rs == rt) {
+        return 0.0;
+    }
+    if (search_scratch(g) < 0) {
+        *failed = 1;
+        return 0.0;
+    }
+    int64_t stamp = ++g->stamp;
+    Heap *hf = &g->heap_f;
+    Heap *hb = &g->heap_b;
+    hf->size = 0;
+    hb->size = 0;
+    g->dist_f[rs] = 0.0;
+    g->dist_stamp_f[rs] = stamp;
+    g->dist_b[rt] = 0.0;
+    g->dist_stamp_b[rt] = stamp;
+    if (heap_push(hf, 0.0, g->ids[rs], rs) < 0 ||
+        heap_push(hb, 0.0, g->ids[rt], rt) < 0) {
+        PyErr_NoMemory();
+        *failed = 1;
+        return 0.0;
+    }
+    double best = Py_HUGE_VAL;
+    while (hf->size > 0 || hb->size > 0) {
+        double top_f = hf->size ? hf->items[0].dist : Py_HUGE_VAL;
+        double top_b = hb->size ? hb->items[0].dist : Py_HUGE_VAL;
+        if (ch_mode) {
+            if ((top_f <= top_b ? top_f : top_b) >= best) {
+                break;
+            }
+        } else {
+            if (best <= top_f + top_b) {
+                break;
+            }
+        }
+        int forward = top_f <= top_b && hf->size > 0;
+        if (!forward && hb->size == 0) {
+            break;
+        }
+        Heap *heap = forward ? hf : hb;
+        int64_t *settled_stamp = forward ? g->settled_stamp_f : g->settled_stamp_b;
+        int64_t *dist_stamp = forward ? g->dist_stamp_f : g->dist_stamp_b;
+        double *dist = forward ? g->dist_f : g->dist_b;
+        int64_t *other_dist_stamp = forward ? g->dist_stamp_b : g->dist_stamp_f;
+        double *other_dist = forward ? g->dist_b : g->dist_f;
+        HeapEntry top = heap_pop(heap);
+        int64_t v = top.row;
+        if (settled_stamp[v] == stamp) {
+            continue;
+        }
+        settled_stamp[v] = stamp;
+        if (other_dist_stamp[v] == stamp) {
+            double candidate = top.dist + other_dist[v];
+            if (candidate < best) {
+                best = candidate;
+            }
+        }
+        const int64_t *nbr = g->indices + g->indptr[v];
+        const int64_t *nbr_end = g->indices + g->indptr[v + 1];
+        const double *wgt = g->weights + g->indptr[v];
+        for (; nbr < nbr_end; nbr++, wgt++) {
+            int64_t u = *nbr;
+            double nd = top.dist + *wgt;
+            double du = (dist_stamp[u] == stamp) ? dist[u] : Py_HUGE_VAL;
+            if (nd < du) {
+                dist[u] = nd;
+                dist_stamp[u] = stamp;
+                if (heap_push(heap, nd, g->ids[u], u) < 0) {
+                    PyErr_NoMemory();
+                    *failed = 1;
+                    return 0.0;
+                }
+                if (other_dist_stamp[u] == stamp) {
+                    double candidate = nd + other_dist[u];
+                    if (candidate < best) {
+                        best = candidate;
+                    }
+                }
+            }
+        }
+    }
+    return best;
+}
+
+/* bidijkstra(graph, rs, rt, ch_mode) -> distance */
+static PyObject *search_query(PyObject *self, PyObject *const *args,
+                              Py_ssize_t nargs) {
+    (void)self;
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "search(graph, rs, rt, ch_mode) takes 4 arguments");
+        return NULL;
+    }
+    SearchGraph *g = search_from_arg(args[0]);
+    if (g == NULL) {
+        return NULL;
+    }
+    long rs = PyLong_AsLong(args[1]);
+    long rt = PyLong_AsLong(args[2]);
+    long ch_mode = PyLong_AsLong(args[3]);
+    if ((rs == -1 || rt == -1 || ch_mode == -1) && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (rs < 0 || rs >= g->n || rt < 0 || rt >= g->n) {
+        PyErr_SetString(PyExc_IndexError, "search-graph row out of range");
+        return NULL;
+    }
+    int failed;
+    double result = search_bidirectional(g, rs, rt, ch_mode != 0, &failed);
+    if (failed) {
+        return NULL;
+    }
+    return PyFloat_FromDouble(result);
+}
+
+/* query_pairs(graph, s_rows, t_rows, out, ch_mode): the scalar search looped
+ * in C -- identical per-pair results, no per-pair Python. */
+static PyObject *search_query_pairs(PyObject *self, PyObject *const *args,
+                                    Py_ssize_t nargs) {
+    (void)self;
+    if (nargs != 5) {
+        PyErr_SetString(PyExc_TypeError,
+                        "query_pairs(graph, s_rows, t_rows, out, ch_mode) takes 5 arguments");
+        return NULL;
+    }
+    SearchGraph *g = search_from_arg(args[0]);
+    if (g == NULL) {
+        return NULL;
+    }
+    long ch_mode = PyLong_AsLong(args[4]);
+    if (ch_mode == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    Py_buffer s_view, t_view, out_view;
+    if (PyObject_GetBuffer(args[1], &s_view, PyBUF_C_CONTIGUOUS) < 0) {
+        return NULL;
+    }
+    if (pair_buffers(args[2], args[3], &t_view, &out_view) < 0) {
+        PyBuffer_Release(&s_view);
+        return NULL;
+    }
+    if (s_view.itemsize != 8 || s_view.len != t_view.len) {
+        PyBuffer_Release(&s_view);
+        PyBuffer_Release(&t_view);
+        PyBuffer_Release(&out_view);
+        PyErr_SetString(PyExc_TypeError,
+                        "s_rows/t_rows/out must be matching 8-byte buffers");
+        return NULL;
+    }
+    const int64_t *s_rows = (const int64_t *)s_view.buf;
+    const int64_t *t_rows = (const int64_t *)t_view.buf;
+    double *out = (double *)out_view.buf;
+    Py_ssize_t m = s_view.len / 8;
+    int failed = 0;
+    for (Py_ssize_t i = 0; i < m; i++) {
+        int64_t rs = s_rows[i];
+        int64_t rt = t_rows[i];
+        if (rs < 0 || rs >= g->n || rt < 0 || rt >= g->n) {
+            PyErr_SetString(PyExc_IndexError, "search-graph row out of range");
+            failed = 1;
+            break;
+        }
+        out[i] = search_bidirectional(g, rs, rt, ch_mode != 0, &failed);
+        if (failed) {
+            break;
+        }
+    }
+    PyBuffer_Release(&s_view);
+    PyBuffer_Release(&t_view);
+    PyBuffer_Release(&out_view);
+    if (failed) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+/* one_to_many(graph, rs, t_rows, out): one truncated Dijkstra from rs -- a
+ * literal port of GraphSnapshot._dijkstra + one_to_many.  Settle-time
+ * distances are recorded separately so the output matches the reference's
+ * `settled` dict byte for byte. */
+static PyObject *search_one_to_many(PyObject *self, PyObject *const *args,
+                                    Py_ssize_t nargs) {
+    (void)self;
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "one_to_many(graph, rs, t_rows, out) takes 4 arguments");
+        return NULL;
+    }
+    SearchGraph *g = search_from_arg(args[0]);
+    if (g == NULL) {
+        return NULL;
+    }
+    long rs = PyLong_AsLong(args[1]);
+    if (rs == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (rs < 0 || rs >= g->n) {
+        PyErr_SetString(PyExc_IndexError, "search-graph row out of range");
+        return NULL;
+    }
+    Py_buffer t_view, out_view;
+    if (pair_buffers(args[2], args[3], &t_view, &out_view) < 0) {
+        return NULL;
+    }
+    const int64_t *t_rows = (const int64_t *)t_view.buf;
+    double *out = (double *)out_view.buf;
+    Py_ssize_t m = t_view.len / 8;
+    int failed = 0;
+    if (search_scratch(g) < 0) {
+        failed = 1;
+    }
+    if (!failed) {
+        int64_t stamp = ++g->stamp;
+        /* dist_stamp_b doubles as the "is a pending target" marker. */
+        int64_t remaining = 0;
+        for (Py_ssize_t i = 0; i < m; i++) {
+            int64_t rt = t_rows[i];
+            if (rt < 0 || rt >= g->n) {
+                PyErr_SetString(PyExc_IndexError, "search-graph row out of range");
+                failed = 1;
+                break;
+            }
+            if (g->dist_stamp_b[rt] != stamp) {
+                g->dist_stamp_b[rt] = stamp;
+                remaining++;
+            }
+        }
+        if (!failed) {
+            Heap *heap = &g->heap_f;
+            heap->size = 0;
+            g->dist_f[rs] = 0.0;
+            g->dist_stamp_f[rs] = stamp;
+            if (heap_push(heap, 0.0, g->ids[rs], rs) < 0) {
+                PyErr_NoMemory();
+                failed = 1;
+            }
+            while (!failed && heap->size > 0) {
+                HeapEntry top = heap_pop(heap);
+                int64_t v = top.row;
+                if (g->settled_stamp_f[v] == stamp) {
+                    continue;
+                }
+                g->settled_stamp_f[v] = stamp;
+                g->settled_val[v] = top.dist;
+                if (g->dist_stamp_b[v] == stamp) {
+                    g->dist_stamp_b[v] = stamp - 1; /* discard from remaining */
+                    if (--remaining == 0) {
+                        break;
+                    }
+                }
+                const int64_t *nbr = g->indices + g->indptr[v];
+                const int64_t *nbr_end = g->indices + g->indptr[v + 1];
+                const double *wgt = g->weights + g->indptr[v];
+                for (; nbr < nbr_end; nbr++, wgt++) {
+                    int64_t u = *nbr;
+                    double nd = top.dist + *wgt;
+                    double du = (g->dist_stamp_f[u] == stamp) ? g->dist_f[u]
+                                                              : Py_HUGE_VAL;
+                    if (nd < du) {
+                        g->dist_f[u] = nd;
+                        g->dist_stamp_f[u] = stamp;
+                        if (heap_push(heap, nd, g->ids[u], u) < 0) {
+                            PyErr_NoMemory();
+                            failed = 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (!failed) {
+                for (Py_ssize_t i = 0; i < m; i++) {
+                    int64_t rt = t_rows[i];
+                    out[i] = (g->settled_stamp_f[rt] == stamp) ? g->settled_val[rt]
+                                                               : Py_HUGE_VAL;
+                }
+            }
+        }
+    }
+    PyBuffer_Release(&t_view);
+    PyBuffer_Release(&out_view);
+    if (failed) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
 static PyMethodDef methods[] = {
-    {"build", build, METH_VARARGS,
+    {"build", label_build, METH_VARARGS,
      "build(mask, comp, first, logs, tbl_flat, tbl_off, pos_indptr, pos_data, "
-     "dis_indptr, dis_data) -> store capsule"},
-    {"query", (PyCFunction)query, METH_FASTCALL, "query(store, rs, rt) -> distance"},
-    {"one_to_many", (PyCFunction)one_to_many, METH_FASTCALL,
+     "dis_indptr, dis_data) -> label-store capsule (buffers borrowed, not copied)"},
+    {"query", (PyCFunction)label_query, METH_FASTCALL,
+     "query(store, rs, rt) -> distance"},
+    {"one_to_many", (PyCFunction)label_one_to_many, METH_FASTCALL,
      "one_to_many(store, rs, t_rows, out) -> None (fills out)"},
-    {"query_pairs", (PyCFunction)query_pairs, METH_FASTCALL,
+    {"query_pairs", (PyCFunction)label_query_pairs, METH_FASTCALL,
      "query_pairs(store, s_rows, t_rows, out) -> None (fills out)"},
+    {"search_build", search_build, METH_VARARGS,
+     "search_build(ids, indptr, indices, weights) -> CSR search-graph capsule "
+     "(buffers borrowed, not copied)"},
+    {"search_query", (PyCFunction)search_query, METH_FASTCALL,
+     "search_query(graph, rs, rt, ch_mode) -> bidirectional-search distance"},
+    {"search_query_pairs", (PyCFunction)search_query_pairs, METH_FASTCALL,
+     "search_query_pairs(graph, s_rows, t_rows, out, ch_mode) -> None (fills out)"},
+    {"search_one_to_many", (PyCFunction)search_one_to_many, METH_FASTCALL,
+     "search_one_to_many(graph, rs, t_rows, out) -> None (truncated Dijkstra)"},
     {NULL, NULL, 0, NULL},
 };
 
 static struct PyModuleDef moduledef = {
     PyModuleDef_HEAD_INIT, "_labelkernel", NULL, -1, methods,
+    NULL, NULL, NULL, NULL,
 };
 
 PyMODINIT_FUNC PyInit__labelkernel(void) { return PyModule_Create(&moduledef); }

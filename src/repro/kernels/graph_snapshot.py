@@ -4,13 +4,22 @@ Stage-1 queries (BiDijkstra) and the truncated one-to-many Dijkstras of the
 batch plane repeatedly walk ``Graph._adj`` — a dict of dicts whose per-edge
 iteration cost dominates small-graph searches.  A :class:`GraphSnapshot`
 freezes the adjacency into CSR arrays (``indptr`` / ``indices`` / ``weights``
-via :meth:`repro.graph.graph.Graph.to_csr`) plus per-vertex materialised
-``(neighbor, weight)`` tuple lists, which the search loops iterate directly.
+via :meth:`repro.graph.graph.Graph.to_csr`) packed into one
+:class:`~repro.kernels.arena.Arena` — the same buffer ``repro.store``
+serializes and ``repro.cluster`` workers mmap-share.
 
-The searches below are literal ports of :func:`repro.algorithms.dijkstra.
-bidijkstra` and :func:`~repro.algorithms.dijkstra.dijkstra` — same
-relaxation order (CSR rows preserve the adjacency-dict iteration order),
-same heap keys (original vertex ids), same float arithmetic — so their
+The fallback ladder, top to bottom:
+
+* **native backend** — the C search kernel of ``repro.kernels.native``
+  borrows the arena views (no copy) and runs the bidirectional search /
+  truncated one-to-many Dijkstra entirely in C;
+* **pure Python** — the loops below iterate per-vertex ``(neighbor,
+  weight)`` tuple lists materialised lazily from the same CSR arrays.
+
+Both are literal ports of :func:`repro.algorithms.dijkstra.bidijkstra` and
+:func:`~repro.algorithms.dijkstra.dijkstra` — same relaxation order (CSR
+rows preserve the adjacency-dict iteration order), same heap keys
+(``(distance, original vertex id)``), same float arithmetic — so their
 results are bit-identical to the live-graph reference.
 
 Every snapshot records ``graph.version`` at freeze time; holders use
@@ -23,9 +32,16 @@ import heapq
 import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
 from repro import obs
 from repro.exceptions import VertexNotFoundError
 from repro.graph.graph import Graph
+from repro.kernels.arena import Arena, build_remap, rows_of
+from repro.kernels.native import native_kernel
 
 INF = math.inf
 
@@ -33,21 +49,71 @@ INF = math.inf
 class GraphSnapshot:
     """Immutable CSR adjacency snapshot of one :class:`Graph` epoch."""
 
-    __slots__ = ("version", "_pairs")
+    __slots__ = ("version", "arena", "row", "_remap", "capsule", "_pairs_cache")
 
     def __init__(self, graph: Graph):
         self.version = graph.version
-        # The CSR export is consumed eagerly into per-vertex neighbour tuple
-        # lists (what the search loops iterate); the raw offset arrays are
-        # not retained — keeping both would double the snapshot's footprint.
         ids, indptr, indices, weights = graph.to_csr()
+        self._init_from_csr(ids, indptr, indices, weights)
+
+    def _init_from_csr(self, ids, indptr, indices, weights) -> None:
+        self.arena = None
+        self.capsule = None
+        self._remap = None
+        self._pairs_cache = None
+        if np is not None:
+            try:
+                ids_arr = np.asarray(ids, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                ids_arr = None  # non-integer vertex ids: pure-Python path
+            if ids_arr is not None:
+                self.arena = Arena.pack(
+                    {
+                        "ids": ids_arr,
+                        "indptr": np.asarray(indptr, dtype=np.int64),
+                        "indices": np.asarray(indices, dtype=np.int64),
+                        "weights": np.asarray(weights, dtype=np.float64),
+                    }
+                )
+                self._remap = build_remap(self.arena["ids"])
+                kernel = native_kernel()
+                if kernel is not None:
+                    self.capsule = kernel.search_build(
+                        self.arena["ids"],
+                        self.arena["indptr"],
+                        self.arena["indices"],
+                        self.arena["weights"],
+                    )
+        if self.arena is not None:
+            self.row = {v: i for i, v in enumerate(self.arena["ids"].tolist())}
+        else:
+            self.row = {v: i for i, v in enumerate(ids)}
+            self._pairs_cache = self._pairs_from_csr(ids, indptr, indices, weights)
+
+    @staticmethod
+    def _pairs_from_csr(ids, indptr, indices, weights):
         pairs: Dict[int, List[Tuple[int, float]]] = {}
         for position, vertex in enumerate(ids):
             start, end = indptr[position], indptr[position + 1]
             pairs[vertex] = [
                 (ids[indices[j]], weights[j]) for j in range(start, end)
             ]
-        self._pairs = pairs
+        return pairs
+
+    @property
+    def _pairs(self) -> Dict[int, List[Tuple[int, float]]]:
+        """Per-vertex neighbour tuple lists for the pure-Python search loops
+        (materialised lazily from the arena; the values are the same float64
+        weights the native kernel reads)."""
+        if self._pairs_cache is None:
+            arena = self.arena
+            self._pairs_cache = self._pairs_from_csr(
+                arena["ids"].tolist(),
+                arena["indptr"].tolist(),
+                arena["indices"].tolist(),
+                arena["weights"].tolist(),
+            )
+        return self._pairs_cache
 
     @classmethod
     def freeze(cls, graph: Graph) -> "GraphSnapshot":
@@ -64,25 +130,59 @@ class GraphSnapshot:
         return self.version == graph.version
 
     def has_vertex(self, v: int) -> bool:
-        return v in self._pairs
+        return v in self.row
 
     # ------------------------------------------------------------------
     # Snapshot persistence (see repro.store)
     # ------------------------------------------------------------------
     def to_state(self, io) -> dict:
-        """Serialize the frozen adjacency as CSR arrays (order-preserving)."""
+        """Serialize the frozen adjacency: the arena on array-capable
+        backends, order-preserving CSR lists otherwise."""
+        if self.arena is not None and getattr(io, "backend", None) == "npz":
+            state = self.arena.to_state(io)
+            state["kind"] = "graph_snapshot"
+            return state
         from repro.store.codec import pack_pairs_csr
 
         return {"kind": "graph_snapshot", **pack_pairs_csr(self._pairs.items(), io)}
 
     @classmethod
     def from_state(cls, state: dict, io, graph: Graph) -> "GraphSnapshot":
-        """Reattach a snapshot, re-keyed to the *loaded* graph's version."""
-        from repro.store.codec import unpack_pairs_csr
+        """Reattach a snapshot, re-keyed to the *loaded* graph's version.
 
+        Arena-format states rebuild the native path directly over the
+        (possibly mmap-backed) payload buffer; legacy pairs-CSR states are
+        re-packed into a private arena.
+        """
         snapshot = cls.__new__(cls)
         snapshot.version = graph.version
-        snapshot._pairs = unpack_pairs_csr(state, io)
+        if "arena" in state and np is not None:
+            arena = Arena.from_state(state, io)
+            snapshot.arena = arena
+            snapshot.capsule = None
+            snapshot._pairs_cache = None
+            snapshot.row = {v: i for i, v in enumerate(arena["ids"].tolist())}
+            snapshot._remap = build_remap(arena["ids"])
+            kernel = native_kernel()
+            if kernel is not None:
+                snapshot.capsule = kernel.search_build(
+                    arena["ids"], arena["indptr"], arena["indices"], arena["weights"]
+                )
+            return snapshot
+        from repro.store.codec import unpack_pairs_csr
+
+        pairs = unpack_pairs_csr(state, io)
+        ids = list(pairs)
+        position = {v: i for i, v in enumerate(ids)}
+        indptr = [0]
+        indices: List[int] = []
+        weights: List[float] = []
+        for v in ids:
+            for u, w in pairs[v]:
+                indices.append(position[u])
+                weights.append(w)
+            indptr.append(len(indices))
+        snapshot._init_from_csr(ids, indptr, indices, weights)
         return snapshot
 
     # ------------------------------------------------------------------
@@ -90,14 +190,21 @@ class GraphSnapshot:
     # ------------------------------------------------------------------
     def bidijkstra(self, source: int, target: int) -> float:
         """Bidirectional Dijkstra over the frozen adjacency."""
-        pairs = self._pairs
-        if source not in pairs:
+        row = self.row
+        if source not in row:
             raise VertexNotFoundError(source)
-        if target not in pairs:
+        if target not in row:
             raise VertexNotFoundError(target)
         if source == target:
             return 0.0
+        if self.capsule is not None:
+            return native_kernel().search_query(
+                self.capsule, row[source], row[target], 0
+            )
+        return self._bidijkstra_py(source, target)
 
+    def _bidijkstra_py(self, source: int, target: int) -> float:
+        pairs = self._pairs
         dist_f: Dict[int, float] = {source: 0.0}
         dist_b: Dict[int, float] = {target: 0.0}
         settled_f: set = set()
@@ -145,12 +252,19 @@ class GraphSnapshot:
 
     def one_to_many(self, source: int, targets: Iterable[int]) -> List[float]:
         """One truncated Dijkstra from ``source``; distances in target order."""
-        pairs = self._pairs
-        if source not in pairs:
+        row = self.row
+        if source not in row:
             raise VertexNotFoundError(source)
         target_list = list(targets)
+        if not target_list:
+            return []
+        if self.capsule is not None:
+            t_rows = rows_of(row, self._remap, target_list)
+            out = np.empty(len(target_list), dtype=np.float64)
+            native_kernel().search_one_to_many(self.capsule, row[source], t_rows, out)
+            return out.tolist()
         for target in target_list:
-            if target not in pairs:
+            if target not in row:
                 raise VertexNotFoundError(target)
         settled = self._dijkstra(source, target_list)
         return [settled.get(target, INF) for target in target_list]

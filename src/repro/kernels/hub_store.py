@@ -3,11 +3,13 @@
 TOAIN materialises, per vertex, distances to its upward-reachable core
 ("check-in") vertices as per-vertex dicts.  A :class:`HubStore` freezes those
 dicts into a CSR table — one ``int64`` array of core-slot ids and one
-``float64`` array of distances — and answers the one-to-many hub join with a
-dense source vector: the source's labels are scattered once into a
-``core_size`` vector, every target's slots gather from it in one fancy
-index, and a single ``np.minimum.reduceat`` over the concatenated hub axis
-yields the per-target join minimum.
+``float64`` array of distances — packed, together with the row ids and the
+core size, into one :class:`~repro.kernels.arena.Arena` (the buffer
+``repro.store`` serializes and ``repro.cluster`` shards mmap-share).  It
+answers the one-to-many hub join with a dense source vector: the source's
+labels are scattered once into a ``core_size`` vector, every target's slots
+gather from it in one fancy index, and a single ``np.minimum.reduceat`` over
+the concatenated hub axis yields the per-target join minimum.
 
 The join arithmetic matches the scalar reference (``d_s + d_t`` minimised
 over the hubs both vertices share; targets with no shared hub get ``inf``),
@@ -26,6 +28,7 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 
 from repro import obs
 from repro.exceptions import VertexNotFoundError
+from repro.kernels.arena import Arena, build_remap, rows_of
 
 INF = math.inf
 
@@ -33,14 +36,25 @@ INF = math.inf
 class HubStore:
     """Immutable CSR snapshot of TOAIN's per-vertex core-label dicts."""
 
-    __slots__ = ("row", "core_size", "hub_indptr", "hub_slots", "hub_dists")
+    __slots__ = (
+        "arena",
+        "row",
+        "_remap",
+        "core_size",
+        "hub_indptr",
+        "hub_slots",
+        "hub_dists",
+    )
 
-    def __init__(self, row, core_size, hub_indptr, hub_slots, hub_dists):
-        self.row = row
-        self.core_size = core_size
-        self.hub_indptr = hub_indptr
-        self.hub_slots = hub_slots
-        self.hub_dists = hub_dists
+    def __init__(self, arena: Arena):
+        self.arena = arena
+        self.core_size = int(arena["core_size"][0])
+        self.hub_indptr = arena["hub_indptr"]
+        self.hub_slots = arena["hub_slots"]
+        self.hub_dists = arena["hub_dists"]
+        verts = arena["verts"]
+        self.row = {v: i for i, v in enumerate(verts.tolist())}
+        self._remap = build_remap(verts)
 
     @classmethod
     def freeze(
@@ -50,7 +64,6 @@ class HubStore:
         if np is None or not core_labels:
             return None
         verts = sorted(core_labels)
-        row = {v: i for i, v in enumerate(verts)}
         counts = [len(core_labels[v]) for v in verts]
         hub_indptr = np.zeros(len(verts) + 1, dtype=np.int64)
         np.cumsum(counts, out=hub_indptr[1:])
@@ -69,54 +82,78 @@ class HubStore:
                 "Frozen kernel stores built, by store kind",
                 store="hub_store",
             ).inc()
-        return cls(row, len(core_slots), hub_indptr, hub_slots, hub_dists)
+        arena = Arena.pack(
+            {
+                "verts": np.asarray(verts, dtype=np.int64),
+                "core_size": np.asarray([len(core_slots)], dtype=np.int64),
+                "hub_indptr": hub_indptr,
+                "hub_slots": hub_slots,
+                "hub_dists": hub_dists,
+            }
+        )
+        return cls(arena)
 
     # ------------------------------------------------------------------
     # Snapshot persistence (see repro.store)
     # ------------------------------------------------------------------
     def to_state(self, io) -> dict:
-        """Serialize the CSR hub table (row order preserved)."""
-        verts = sorted(self.row, key=self.row.get)
-        return {
-            "kind": "hub_store",
-            "verts": io.put_ints(verts),
-            "core_size": int(self.core_size),
-            "hub_indptr": io.put_array(self.hub_indptr),
-            "hub_slots": io.put_array(self.hub_slots),
-            "hub_dists": io.put_array(self.hub_dists),
-        }
+        """Serialize the store as its arena (row order preserved)."""
+        state = self.arena.to_state(io)
+        state["kind"] = "hub_store"
+        return state
 
     @classmethod
     def from_state(cls, state: dict, io) -> Optional["HubStore"]:
+        """Rebuild from a snapshot payload (arena or legacy per-array)."""
         if np is None:
             return None
-        row = {v: i for i, v in enumerate(io.get_list(state["verts"]))}
-        return cls(
-            row,
-            int(state["core_size"]),
-            io.get_array(state["hub_indptr"]),
-            io.get_array(state["hub_slots"]),
-            io.get_array(state["hub_dists"]),
-        )
+        if "arena" in state:
+            return cls(Arena.from_state(state, io))
+        arrays = {
+            "verts": np.asarray(io.get_list(state["verts"]), dtype=np.int64),
+            "core_size": np.asarray([int(state["core_size"])], dtype=np.int64),
+            "hub_indptr": io.get_array(state["hub_indptr"]),
+            "hub_slots": io.get_array(state["hub_slots"]),
+            "hub_dists": io.get_array(state["hub_dists"]),
+        }
+        return cls(Arena.pack(arrays))
+
+    def join_pair(self, source: int, target: int) -> float:
+        """Scalar hub-join minimum (``inf`` when no shared hub).
+
+        Same dense-scatter scheme as :meth:`join_one_to_many` for a single
+        target; every candidate is the identical ``d_s + d_t`` float64 sum,
+        so the result is bit-identical to the dict-based loop.
+        """
+        row = self.row
+        try:
+            rs = row[source]
+            rt = row[target]
+        except KeyError as exc:
+            raise VertexNotFoundError(exc.args[0]) from None
+        s_start, s_end = self.hub_indptr[rs], self.hub_indptr[rs + 1]
+        t_start, t_end = self.hub_indptr[rt], self.hub_indptr[rt + 1]
+        if s_end == s_start or t_end == t_start:
+            return INF
+        dense = np.full(self.core_size, INF, dtype=np.float64)
+        dense[self.hub_slots[s_start:s_end]] = self.hub_dists[s_start:s_end]
+        candidates = dense[self.hub_slots[t_start:t_end]] + self.hub_dists[t_start:t_end]
+        return float(candidates.min())
 
     def join_one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
         """Hub-join minimum from ``source`` to each target (``inf`` when none)."""
         row = self.row
         if source not in row:
             raise VertexNotFoundError(source)
-        target_rows = []
-        for target in targets:
-            if target not in row:
-                raise VertexNotFoundError(target)
-            target_rows.append(row[target])
-        if not target_rows:
+        targets = list(targets)
+        if not targets:
             return []
+        t_rows = rows_of(row, self._remap, targets)
         rs = row[source]
         s_start, s_end = self.hub_indptr[rs], self.hub_indptr[rs + 1]
         dense = np.full(self.core_size, INF, dtype=np.float64)
         dense[self.hub_slots[s_start:s_end]] = self.hub_dists[s_start:s_end]
 
-        t_rows = np.asarray(target_rows, dtype=np.int64)
         starts = self.hub_indptr[t_rows]
         counts = self.hub_indptr[t_rows + 1] - starts
         out = np.full(len(t_rows), INF, dtype=np.float64)

@@ -8,24 +8,34 @@ pair, and the tree's Euler-tour LCA oracle is flattened into integer arrays
 whose sparse-table entries are packed as ``depth << SHIFT | row`` so the
 range-minimum over depths is a plain integer minimum.
 
-Two query backends read the store:
+All of those arrays live side by side in one :class:`~repro.kernels.arena.
+Arena` — the unified buffer that ``repro.store`` serializes as a single
+payload and ``repro.cluster`` workers mmap-share, and whose views the native
+kernel borrows without copying.
+
+Three query backends read the store, forming the fallback ladder:
 
 * the **native backend** (``repro.kernels.native``) runs the LCA + hub scan
-  in C — this is what makes *scalar* queries fast;
+  in C — scalar queries call it once, batches (:meth:`one_to_many`,
+  :meth:`query_pairs`) cross into C a single time per batch with ``int64``
+  row buffers in and a ``float64`` output buffer out, so there is no
+  per-query Python and no per-query numpy temporary;
 * the **vectorized backend** answers whole batches with numpy: one gather of
   the ragged hub-position segments and one ``np.minimum.reduceat`` over the
-  hub axis per batch — no per-pair Python.
+  hub axis per batch — the no-compiler fallback;
+* the **pure-Python reference** (``H2HLabels.query``) remains the semantic
+  ground truth the other two must match bit for bit.
 
-Both backends perform exactly the reference arithmetic (``dis_s[i] +
-dis_t[i]`` minimised over ``i ∈ pos[lca]``), so their results are
-bit-identical to ``H2HLabels.query``; the equivalence suite in
+Both accelerated backends perform exactly the reference arithmetic
+(``dis_s[i] + dis_t[i]`` minimised over ``i ∈ pos[lca]``), so their results
+are bit-identical to ``H2HLabels.query``; the equivalence suite in
 ``tests/test_kernels.py`` enforces this for every index.
 
 The *layout* (row numbering, LCA arrays, position CSR) depends only on the
 tree structure, which weight-only updates never change — it is computed once
 per tree and cached on the :class:`~repro.treedec.tree.TreeDecomposition`
 keyed by its ``structure_version``.  A freeze after an update batch therefore
-only re-packs the distance data.
+only re-flattens the distance data before packing the epoch's arena.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 
 from repro import obs
 from repro.exceptions import VertexNotFoundError
+from repro.kernels.arena import Arena, build_remap, rows_of
 from repro.kernels.native import native_kernel
 
 INF = math.inf
@@ -117,30 +128,67 @@ def _layout_for(tree, labels) -> Optional[LabelLayout]:
     return layout
 
 
+#: Arena entries of a label store, in pack order.
+_FIELDS = (
+    "verts",
+    "comp",
+    "first",
+    "logs",
+    "tbl_flat",
+    "tbl_off",
+    "pos_indptr",
+    "pos_data",
+    "dis_indptr",
+    "dis_data",
+)
+
+
 class LabelStore:
     """One frozen snapshot of an ``H2HLabels`` instance (see module docs)."""
 
-    __slots__ = ("layout", "dis_indptr", "dis_data", "capsule", "query_fn")
+    __slots__ = (
+        "arena",
+        "row",
+        "_remap",
+        "comp",
+        "first",
+        "logs",
+        "tbl_flat",
+        "tbl_off",
+        "pos_indptr",
+        "pos_data",
+        "dis_indptr",
+        "dis_data",
+        "capsule",
+        "query_fn",
+    )
 
-    def __init__(self, layout: LabelLayout, dis_indptr, dis_data):
-        self.layout = layout
-        self.dis_indptr = dis_indptr
-        self.dis_data = dis_data
+    def __init__(self, arena: Arena, row: Optional[Dict[int, int]] = None):
+        self.arena = arena
+        for field in _FIELDS[1:]:
+            setattr(self, field, arena[field])
+        verts = arena["verts"]
+        if row is None:
+            row = {v: i for i, v in enumerate(verts.tolist())}
+        self.row = row
+        # Dense id->row remap: turns batch row mapping into one numpy gather
+        # (no per-query Python dict lookups) when the id space is dense.
+        self._remap = build_remap(verts)
         self.capsule = None
         self.query_fn = None
         kernel = native_kernel()
         if kernel is not None:
             self.capsule = kernel.build(
                 MASK,
-                layout.comp,
-                layout.first,
-                layout.logs,
-                layout.tbl_flat,
-                layout.tbl_off,
-                layout.pos_indptr,
-                layout.pos_data,
-                dis_indptr,
-                dis_data,
+                self.comp,
+                self.first,
+                self.logs,
+                self.tbl_flat,
+                self.tbl_off,
+                self.pos_indptr,
+                self.pos_data,
+                self.dis_indptr,
+                self.dis_data,
             )
             self.query_fn = self._make_scalar_query(kernel)
 
@@ -149,7 +197,8 @@ class LabelStore:
     # ------------------------------------------------------------------
     @classmethod
     def freeze(cls, labels) -> Optional["LabelStore"]:
-        """Freeze ``labels`` into a flat store; ``None`` when unsupported."""
+        """Freeze ``labels`` into a flat arena-backed store; ``None`` when
+        unsupported."""
         if np is None:
             return None
         layout = _layout_for(labels.tree, labels)
@@ -165,59 +214,65 @@ class LabelStore:
         for v, count in zip(verts, counts):
             dis_data[offset : offset + count] = dis[v]
             offset += count
+        arena = Arena.pack(
+            {
+                "verts": np.asarray(verts, dtype=np.int64),
+                "comp": layout.comp,
+                "first": layout.first,
+                "logs": layout.logs,
+                "tbl_flat": layout.tbl_flat,
+                "tbl_off": layout.tbl_off,
+                "pos_indptr": layout.pos_indptr,
+                "pos_data": layout.pos_data,
+                "dis_indptr": dis_indptr,
+                "dis_data": dis_data,
+            }
+        )
         if obs.is_enabled():
             obs.registry().counter(
                 "repro_kernel_store_freezes_total",
                 "Frozen kernel stores built, by store kind",
                 store="label_store",
             ).inc()
-        return cls(layout, dis_indptr, dis_data)
+        return cls(arena, row=dict(layout.row))
 
     # ------------------------------------------------------------------
     # Snapshot persistence (see repro.store)
     # ------------------------------------------------------------------
     def to_state(self, io) -> dict:
-        """Serialize the store (layout + distance CSR) into a payload writer.
+        """Serialize the store as its arena: one payload array + the TOC.
 
-        Everything needed to answer queries is exported — including the
-        structure-derived LCA arrays — so :meth:`from_state` reattaches a
-        ready store without touching the tree decomposition.
+        Everything needed to answer queries lives in the arena — including
+        the structure-derived LCA arrays — so :meth:`from_state` reattaches
+        a ready store without touching the tree decomposition.
         """
-        layout = self.layout
-        return {
-            "kind": "label_store",
-            "verts": io.put_ints(layout.verts),
-            "comp": io.put_array(layout.comp),
-            "first": io.put_array(layout.first),
-            "logs": io.put_array(layout.logs),
-            "tbl_flat": io.put_array(layout.tbl_flat),
-            "tbl_off": io.put_array(layout.tbl_off),
-            "pos_indptr": io.put_array(layout.pos_indptr),
-            "pos_data": io.put_array(layout.pos_data),
-            "dis_indptr": io.put_array(self.dis_indptr),
-            "dis_data": io.put_array(self.dis_data),
-        }
+        state = self.arena.to_state(io)
+        state["kind"] = "label_store"
+        return state
 
     @classmethod
     def from_state(cls, state: dict, io) -> Optional["LabelStore"]:
-        """Rebuild a store from payload arrays (mmap-backed where possible)."""
+        """Rebuild a store from a snapshot payload (mmap-backed when possible).
+
+        Accepts both the unified-arena format (one buffer + TOC) and the
+        legacy per-array format of pre-arena snapshots.
+        """
         if np is None:
             return None
-        layout = LabelLayout.__new__(LabelLayout)
-        layout.version = -1  # detached from any tree's layout cache
-        layout.verts = io.get_list(state["verts"])
-        layout.row = {v: i for i, v in enumerate(layout.verts)}
-        for field in ("comp", "first", "logs", "tbl_flat", "tbl_off", "pos_indptr", "pos_data"):
-            setattr(layout, field, io.get_array(state[field]))
-        return cls(
-            layout, io.get_array(state["dis_indptr"]), io.get_array(state["dis_data"])
-        )
+        if "arena" in state:
+            return cls(Arena.from_state(state, io))
+        arrays = {
+            "verts": np.asarray(io.get_list(state["verts"]), dtype=np.int64)
+        }
+        for field in _FIELDS[1:]:
+            arrays[field] = io.get_array(state[field])
+        return cls(Arena.pack(arrays))
 
     # ------------------------------------------------------------------
     # Scalar path (native backend)
     # ------------------------------------------------------------------
     def _make_scalar_query(self, kernel):
-        row = self.layout.row
+        row = self.row
         capsule = self.capsule
         native_query = kernel.query
 
@@ -239,20 +294,13 @@ class LabelStore:
     # Batch path
     # ------------------------------------------------------------------
     def _rows_of(self, vertices: Sequence[int]):
-        row = self.layout.row
-        try:
-            return np.fromiter(
-                (row[v] for v in vertices), dtype=np.int64, count=len(vertices)
-            )
-        except (KeyError, TypeError):
-            for v in vertices:
-                if v not in row:
-                    raise VertexNotFoundError(v) from None
-            raise
+        """Map a vertex sequence to an ``int64`` row array (one gather when
+        the id space is dense — the only per-batch Python is this call)."""
+        return rows_of(self.row, self._remap, vertices)
 
     def one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
         """Distances from ``source`` to every target (bit-identical batch)."""
-        row = self.layout.row
+        row = self.row
         if source not in row:
             raise VertexNotFoundError(source)
         targets = list(targets)
@@ -287,10 +335,9 @@ class LabelStore:
         Per-pair arithmetic is exactly the scalar reference (float64 sums,
         order-independent minimum), so results stay bit-identical.
         """
-        layout = self.layout
         out = np.empty(len(s_rows), dtype=np.float64)
         same = s_rows == t_rows
-        split = layout.comp[s_rows] != layout.comp[t_rows]
+        split = self.comp[s_rows] != self.comp[t_rows]
         out[same] = 0.0
         out[split] = INF
         regular = ~(same | split)
@@ -298,24 +345,24 @@ class LabelStore:
         rt = t_rows[regular]
         if rs.size == 0:
             return out
-        fs = layout.first[rs]
-        ft = layout.first[rt]
+        fs = self.first[rs]
+        ft = self.first[rt]
         lo = np.minimum(fs, ft)
         hi = np.maximum(fs, ft)
-        k = layout.logs[hi - lo + 1]
-        base = layout.tbl_off[k]
-        a = layout.tbl_flat[base + lo]
-        b = layout.tbl_flat[base + hi - (1 << k) + 1]
+        k = self.logs[hi - lo + 1]
+        base = self.tbl_off[k]
+        a = self.tbl_flat[base + lo]
+        b = self.tbl_flat[base + hi - (1 << k) + 1]
         lca_rows = np.minimum(a, b) & MASK
-        starts = layout.pos_indptr[lca_rows]
-        counts = layout.pos_indptr[lca_rows + 1] - starts
+        starts = self.pos_indptr[lca_rows]
+        counts = self.pos_indptr[lca_rows + 1] - starts
         seg = np.zeros(len(counts), dtype=np.int64)
         np.cumsum(counts[:-1], out=seg[1:])
         total = int(seg[-1] + counts[-1])
         flat = np.arange(total, dtype=np.int64) - np.repeat(seg, counts) + np.repeat(
             starts, counts
         )
-        hub_positions = layout.pos_data[flat]
+        hub_positions = self.pos_data[flat]
         s_base = np.repeat(self.dis_indptr[rs], counts)
         t_base = np.repeat(self.dis_indptr[rt], counts)
         candidates = (

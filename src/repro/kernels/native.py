@@ -44,7 +44,7 @@ def _disabled_by_env() -> bool:
 def _check_private(path: str) -> str:
     """Ensure ``path`` exists, is owned by us and is not group/world-writable.
 
-    The cache directory holds shared objects that get ``exec_module``\ d; on a
+    The cache directory holds shared objects that get ``exec_module``-ed; on a
     multi-user host a predictable path another user controls would be a code
     injection vector, so refuse anything we don't exclusively own.
     """
@@ -69,8 +69,21 @@ def _cache_dir(tag: str) -> str:
         )
 
 
+def _extra_cflags() -> list:
+    """Extra compiler flags from ``REPRO_KERNEL_CFLAGS`` (e.g. ``-Wall -Werror``)."""
+    return os.environ.get("REPRO_KERNEL_CFLAGS", "").split()
+
+
 def _build_tag(source: bytes) -> str:
-    digest = hashlib.sha256(source).hexdigest()[:16]
+    """Cache key for the compiled object: ABI + source hash + flag hash.
+
+    Hashing the C source guarantees an edited ``_labelkernel.c`` can never be
+    served a stale cached binary; hashing the extra flags keeps e.g. a
+    ``-Wall -Werror`` CI build from colliding with a default build.
+    """
+    hasher = hashlib.sha256(source)
+    hasher.update(b"\x00" + " ".join(_extra_cflags()).encode())
+    digest = hasher.hexdigest()[:16]
     abi = sysconfig.get_config_var("SOABI") or f"py{sys.version_info[0]}{sys.version_info[1]}"
     return f"{abi}-{digest}"
 
@@ -81,7 +94,8 @@ def _compile(source_path: str, out_path: str) -> Optional[str]:
     if not include or not os.path.exists(os.path.join(include, "Python.h")):
         return "Python development headers not found"
     cc = sysconfig.get_config_var("CC") or "cc"
-    command = cc.split() + ["-O2", "-shared", "-fPIC", f"-I{include}", source_path, "-o", out_path]
+    command = cc.split() + ["-O2", "-shared", "-fPIC", f"-I{include}"]
+    command += _extra_cflags() + [source_path, "-o", out_path]
     if sys.platform == "darwin":
         command.insert(-2, "-undefined")
         command.insert(-2, "dynamic_lookup")

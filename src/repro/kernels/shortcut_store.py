@@ -4,11 +4,15 @@ CH-family query stages (DCH, the CH stage of MHL, the PCH stages of PMHL and
 PostMHL, TOAIN's sub-core search, the CH-underlying PSP families) all search
 an "upward neighbours" mapping — live dict-of-dict shortcut arrays, sometimes
 filtered or merged per call.  A :class:`ShortcutStore` freezes the relevant
-upward adjacency into per-vertex ``(neighbor, weight)`` tuple lists built in
-the source mapping's iteration order, and runs the bidirectional upward
-search directly over them.
+upward adjacency, preserving the source mapping's iteration order, into CSR
+arrays packed in one :class:`~repro.kernels.arena.Arena` (the buffer
+``repro.store`` serializes and ``repro.cluster`` shards mmap-share).
 
-The search is a literal port of :func:`repro.hierarchy.ch.
+The fallback ladder mirrors :class:`~repro.kernels.graph_snapshot.
+GraphSnapshot`: the native C kernel borrows the arena views and runs the
+bidirectional upward search in C (scalar and batch); without a compiler the
+pure-Python loop below iterates lazily materialised per-vertex ``(neighbor,
+weight)`` tuple lists.  Both are literal ports of :func:`repro.hierarchy.ch.
 ch_bidirectional_query` (same relaxation order, same heap keys, same float
 arithmetic), so results are bit-identical to the live-dict reference.
 """
@@ -17,9 +21,16 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
 
 from repro import obs
+from repro.kernels.arena import Arena, build_remap, rows_of
+from repro.kernels.native import native_kernel
 
 INF = math.inf
 
@@ -27,10 +38,69 @@ INF = math.inf
 class ShortcutStore:
     """Immutable upward adjacency (vertex -> [(higher-rank neighbor, weight)])."""
 
-    __slots__ = ("_pairs",)
+    __slots__ = ("arena", "row", "_remap", "capsule", "_pairs_cache")
 
     def __init__(self, pairs: Dict[int, List[Tuple[int, float]]]):
-        self._pairs = pairs
+        self.arena = None
+        self.capsule = None
+        self._remap = None
+        self._pairs_cache = None
+        self.row = {v: i for i, v in enumerate(pairs)}
+        csr = self._csr_from_pairs(pairs) if np is not None else None
+        if csr is None:
+            self._pairs_cache = pairs
+            return
+        self.arena = Arena.pack(csr)
+        self._remap = build_remap(self.arena["ids"])
+        kernel = native_kernel()
+        if kernel is not None:
+            self.capsule = kernel.search_build(
+                self.arena["ids"],
+                self.arena["indptr"],
+                self.arena["indices"],
+                self.arena["weights"],
+            )
+
+    def _csr_from_pairs(self, pairs) -> Optional[Dict[str, object]]:
+        position = self.row
+        indptr = [0]
+        indices: List[int] = []
+        weights: List[float] = []
+        try:
+            for v in pairs:
+                for u, w in pairs[v]:
+                    indices.append(position[u])
+                    weights.append(w)
+                indptr.append(len(indices))
+            ids = np.asarray(list(pairs), dtype=np.int64)
+        except (KeyError, TypeError, ValueError, OverflowError):
+            # Adjacency not closed over its keys, or non-integer vertex
+            # ids: keep the pure-Python dict path.
+            return None
+        return {
+            "ids": ids,
+            "indptr": np.asarray(indptr, dtype=np.int64),
+            "indices": np.asarray(indices, dtype=np.int64),
+            "weights": np.asarray(weights, dtype=np.float64),
+        }
+
+    @property
+    def _pairs(self) -> Dict[int, List[Tuple[int, float]]]:
+        """Per-vertex tuple lists for the pure-Python search (lazy)."""
+        if self._pairs_cache is None:
+            arena = self.arena
+            ids = arena["ids"].tolist()
+            indptr = arena["indptr"].tolist()
+            indices = arena["indices"].tolist()
+            weights = arena["weights"].tolist()
+            pairs: Dict[int, List[Tuple[int, float]]] = {}
+            for position, vertex in enumerate(ids):
+                start, end = indptr[position], indptr[position + 1]
+                pairs[vertex] = [
+                    (ids[indices[j]], weights[j]) for j in range(start, end)
+                ]
+            self._pairs_cache = pairs
+        return self._pairs_cache
 
     @classmethod
     def freeze(
@@ -48,27 +118,83 @@ class ShortcutStore:
         return cls({v: list(upward(v).items()) for v in vertices})
 
     def has_vertex(self, v: int) -> bool:
-        return v in self._pairs
+        return v in self.row
 
     # ------------------------------------------------------------------
     # Snapshot persistence (see repro.store)
     # ------------------------------------------------------------------
     def to_state(self, io) -> dict:
-        """Serialize the upward adjacency as CSR arrays (order-preserving)."""
+        """Serialize the upward adjacency: the arena on array-capable
+        backends, order-preserving CSR lists otherwise."""
+        if self.arena is not None and getattr(io, "backend", None) == "npz":
+            state = self.arena.to_state(io)
+            state["kind"] = "shortcut_store"
+            return state
         from repro.store.codec import pack_pairs_csr
 
         return {"kind": "shortcut_store", **pack_pairs_csr(self._pairs.items(), io)}
 
     @classmethod
     def from_state(cls, state: dict, io) -> "ShortcutStore":
+        if "arena" in state and np is not None:
+            store = cls.__new__(cls)
+            arena = Arena.from_state(state, io)
+            store.arena = arena
+            store.capsule = None
+            store._pairs_cache = None
+            store.row = {v: i for i, v in enumerate(arena["ids"].tolist())}
+            store._remap = build_remap(arena["ids"])
+            kernel = native_kernel()
+            if kernel is not None:
+                store.capsule = kernel.search_build(
+                    arena["ids"], arena["indptr"], arena["indices"], arena["weights"]
+                )
+            return store
         from repro.store.codec import unpack_pairs_csr
 
         return cls(unpack_pairs_csr(state, io))
 
+    # ------------------------------------------------------------------
+    # Searches (bit-identical ports of repro.hierarchy.ch)
+    # ------------------------------------------------------------------
     def query(self, source: int, target: int) -> float:
         """Bidirectional upward search over the frozen shortcut arrays."""
         if source == target:
             return 0.0
+        if self.capsule is not None:
+            row = self.row
+            return native_kernel().search_query(
+                self.capsule, row[source], row[target], 1
+            )
+        return self._query_py(source, target)
+
+    def one_to_many(self, source: int, targets: Sequence[int]) -> List[float]:
+        """The scalar search looped in C: distances in target order."""
+        targets = list(targets)
+        if not targets:
+            return []
+        if self.capsule is not None:
+            s_rows = np.full(len(targets), self.row[source], dtype=np.int64)
+            t_rows = rows_of(self.row, self._remap, targets)
+            out = np.empty(len(targets), dtype=np.float64)
+            native_kernel().search_query_pairs(self.capsule, s_rows, t_rows, out, 1)
+            return out.tolist()
+        return [self.query(source, target) for target in targets]
+
+    def query_pairs(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
+        """Distances for arbitrary ``(source, target)`` pairs, input order."""
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if self.capsule is not None:
+            s_rows = rows_of(self.row, self._remap, [s for s, _ in pairs])
+            t_rows = rows_of(self.row, self._remap, [t for _, t in pairs])
+            out = np.empty(len(pairs), dtype=np.float64)
+            native_kernel().search_query_pairs(self.capsule, s_rows, t_rows, out, 1)
+            return out.tolist()
+        return [self.query(s, t) for s, t in pairs]
+
+    def _query_py(self, source: int, target: int) -> float:
         pairs = self._pairs
 
         dist_f: Dict[int, float] = {source: 0.0}
@@ -115,3 +241,6 @@ class ShortcutStore:
             else:
                 break
         return best
+
+    # C scalar query raises KeyError like the dict path would for vertices
+    # the store never froze; callers guarantee membership.

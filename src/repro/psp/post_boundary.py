@@ -102,14 +102,11 @@ class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
 
     def _to_boundary(self, pid: int, vertex: int) -> Dict[int, float]:
         store = self._extended_store(pid)
-        if isinstance(store, LabelStore):
+        if store is not None:
+            # LabelStore and ShortcutStore both answer the boundary fan-out
+            # as one native batch (hoisted source / C-looped scalar search).
             boundary = sorted(self.partitioning.boundary(pid))
             return dict(zip(boundary, store.one_to_many(vertex, boundary)))
-        if store is not None:
-            return {
-                b: store.query(vertex, b)
-                for b in sorted(self.partitioning.boundary(pid))
-            }
         return self.extended_family.distances_to_boundary(pid, vertex)
 
     def _same_partition_query(
@@ -128,45 +125,9 @@ class PostBoundaryPSPIndex(NoBoundaryPSPIndex):
             return store.query(source, target)
         return self.extended_family.query(pid, source, target)
 
-    def _boundary_to_inner(
-        self,
-        boundary_vertex: int,
-        pid: int,
-        inner: int,
-        overlay_query: Callable[[int, int], float],
-        to_boundary: Callable[[int, int], Dict[int, float]],
-    ) -> float:
-        best = INF
-        for bq, d_t in to_boundary(pid, inner).items():
-            if d_t == INF:
-                continue
-            candidate = overlay_query(boundary_vertex, bq) + d_t
-            if candidate < best:
-                best = candidate
-        return best
-
-    def _inner_to_inner(
-        self,
-        pid_s: int,
-        source: int,
-        pid_t: int,
-        target: int,
-        overlay_query: Callable[[int, int], float],
-        to_boundary: Callable[[int, int], Dict[int, float]],
-    ) -> float:
-        best = INF
-        source_to_boundary = to_boundary(pid_s, source)
-        target_to_boundary = to_boundary(pid_t, target)
-        for bp, d_s in source_to_boundary.items():
-            if d_s == INF:
-                continue
-            for bq, d_t in target_to_boundary.items():
-                if d_t == INF:
-                    continue
-                candidate = d_s + overlay_query(bp, bq) + d_t
-                if candidate < best:
-                    best = candidate
-        return best
+    # ``_boundary_to_inner`` / ``_inner_to_inner`` are inherited: the
+    # concatenation loops (and their vectorized batch plane) are identical —
+    # only the per-partition stores they consult differ, via ``_to_boundary``.
 
     # ------------------------------------------------------------------
     # Maintenance

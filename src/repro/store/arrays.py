@@ -6,10 +6,12 @@ orders, supporter lists, edge arrays — is pulled out of that tree into a
 single *payload* file and referenced by name.  Two backends implement the
 payload:
 
-* ``npz`` — :func:`numpy.savez` (uncompressed).  Because ``savez`` stores its
-  members with ``ZIP_STORED``, each member is a verbatim ``.npy`` byte range
-  inside the archive; :class:`NpzPayloadReader` locates those ranges and
-  attaches :class:`numpy.memmap` views directly onto them, so loading a
+* ``npz`` — an ``np.load``-compatible uncompressed archive written by
+  :func:`_write_aligned_npz`, which pads each member to a 64-byte data
+  offset (plain ``np.savez`` leaves member alignment to chance).  Because
+  members are stored with ``ZIP_STORED``, each is a verbatim ``.npy`` byte
+  range inside the archive; :class:`NpzPayloadReader` locates those ranges
+  and attaches :class:`numpy.memmap` views directly onto them, so loading a
   snapshot maps the flat arrays instead of copying them through the zip
   layer.  Any structural surprise (compressed member, malformed header)
   degrades to an eager in-memory read of that member.
@@ -23,6 +25,7 @@ missing or truncated payloads so callers never silently read garbage.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import struct
@@ -40,6 +43,45 @@ from repro.exceptions import SnapshotFormatError
 ArrayRef = Dict[str, str]
 
 _REF_KEY = "__array__"
+
+#: Alignment of every ``.npy`` member's data inside the ``.npz`` archive.
+#: ``np.savez`` places members at arbitrary offsets, so whether a member's
+#: data lands 8-byte aligned is luck of cumulative member sizes; a memmap
+#: view at a misaligned offset forces :class:`repro.kernels.arena.Arena`
+#: (and the native kernels, which require aligned 8-byte buffers) to copy
+#: the payload, silently losing cross-process sharing.  64 matches numpy's
+#: own in-file npy data alignment (``ARRAY_ALIGN``) and cache-line size.
+_MEMBER_ALIGN = 64
+
+
+def _write_aligned_npz(handle, arrays: Dict[str, object]) -> None:
+    """Write ``arrays`` as an uncompressed ``.npz`` with aligned members.
+
+    Output is a standard ``np.load``-compatible archive; the only difference
+    from ``np.savez`` is a padding *extra field* in each local file header
+    sized so the member starts on a :data:`_MEMBER_ALIGN` boundary.  The npy
+    format itself pads its header so array data begins at a 64-byte multiple
+    within the member, so member alignment gives data alignment.
+    """
+    with zipfile.ZipFile(handle, "w", zipfile.ZIP_STORED) as archive:
+        for name, array in arrays.items():
+            payload = io.BytesIO()
+            np.lib.format.write_array(
+                payload, np.asarray(array), allow_pickle=False
+            )
+            filename = name + ".npy"
+            info = zipfile.ZipInfo(filename, date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_STORED
+            # Member data starts after the 30-byte local header, the
+            # filename and the extra field; pad the extra field (a valid
+            # zip record: 2-byte id, 2-byte length, payload) to align it.
+            base = archive.fp.tell() + 30 + len(filename.encode())
+            pad = (-base) % _MEMBER_ALIGN
+            if 0 < pad < 4:
+                pad += _MEMBER_ALIGN
+            if pad:
+                info.extra = struct.pack("<HH", 0x7061, pad - 4) + b"\x00" * (pad - 4)
+            archive.writestr(info, payload.getvalue())
 
 
 def is_ref(value: object) -> bool:
@@ -109,7 +151,7 @@ class ArrayWriter:
         tmp_path = path + ".tmp"
         if self.backend == "npz":
             with open(tmp_path, "wb") as handle:
-                np.savez(handle, **self._arrays)
+                _write_aligned_npz(handle, self._arrays)
         else:
             with open(tmp_path, "w") as handle:
                 json.dump(self._arrays, handle)
