@@ -257,6 +257,11 @@ class ClusterEngine:
         return self._generation
 
     @property
+    def graph(self) -> Graph:
+        """The dispatcher-side graph mirror at the current epoch."""
+        return self._graph
+
+    @property
     def published_snapshots(self) -> List[str]:
         return list(self._published)
 
@@ -335,6 +340,20 @@ class ClusterEngine:
     # ServingEngine's batch plane calls this ``query_batch``; the index-level
     # name is ``query_many`` — the cluster answers to both.
     query_many = query_batch
+
+    def serve_one_to_many(
+        self, source: int, targets: Iterable[int]
+    ) -> List[QueryResult]:
+        """Serve one source against many targets at a single cluster epoch.
+
+        The pairs share a source, so the partition-aware router sends the
+        whole set to one shard whenever the source's partition owns it —
+        the shard then amortises through its index's native one-to-many path.
+        """
+        return self.serve_batch([(source, target) for target in targets])
+
+    def query_one_to_many(self, source: int, targets: Iterable[int]) -> List[float]:
+        return [result.distance for result in self.serve_one_to_many(source, targets)]
 
     def _dispatch_batch(
         self, pair_list: List[QueryPair], started: float

@@ -114,6 +114,86 @@ class ClusterWorkerError(ClusterError):
         self.reason = reason
 
 
+class ServerError(ServingError):
+    """Base class for errors raised by the network query plane (``repro.server``)."""
+
+
+class ProtocolError(ServerError):
+    """Raised when a frame on the wire violates the protocol.
+
+    ``code`` is the machine-readable error code carried by the typed ERROR
+    frame the server answers with; ``seq`` is the offending request's
+    sequence number when the header parsed far enough to recover it;
+    ``recoverable`` says whether the byte stream is still in sync (the
+    connection can keep being used) or must be closed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "malformed_frame",
+        seq: "int | None" = None,
+        recoverable: bool = False,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.seq = seq
+        self.recoverable = recoverable
+
+
+class ProtocolVersionError(ProtocolError):
+    """Raised when a frame carries an unsupported protocol version byte."""
+
+    def __init__(self, found: int, expected: int):
+        super().__init__(
+            f"unsupported protocol version {found} (this build speaks {expected})",
+            code="bad_version",
+        )
+        self.found = found
+        self.expected = expected
+
+
+class FrameTooLargeError(ProtocolError):
+    """Raised when a frame's length prefix exceeds the configured cap."""
+
+    def __init__(self, length: int, limit: int):
+        super().__init__(
+            f"frame of {length} bytes exceeds the {limit}-byte cap",
+            code="frame_too_large",
+        )
+        self.length = length
+        self.limit = limit
+
+
+class ServerBackpressureError(ServerError):
+    """Client-side mapping of a RETRY frame (the 429 analogue).
+
+    Carries the server's queue-depth hint and suggested wait so closed-loop
+    clients can back off proportionally to the backlog they caused.
+    """
+
+    def __init__(self, reason: str, queue_depth: int, suggested_wait_seconds: float):
+        super().__init__(
+            f"server asked to retry ({reason}): queue_depth={queue_depth}, "
+            f"suggested_wait={suggested_wait_seconds:.4f}s"
+        )
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.suggested_wait_seconds = suggested_wait_seconds
+
+
+class RemoteServerError(ServerError):
+    """Client-side mapping of a typed ERROR frame."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"server error [{code}]: {message}")
+        self.code = code
+
+
+class ServerClosedError(ServerError):
+    """Raised when a request cannot complete because the connection closed."""
+
+
 class QueryRejectedError(ServingError):
     """Raised when admission control sheds a query to protect the QoS bound."""
 

@@ -12,6 +12,8 @@ Usage::
                                     [--metrics-out FILE] [--trace-out FILE]
     python -m repro.experiments cluster [--method PMHL] [--workers 4]
                                         [--snapshot DIR] [--duration S]
+    python -m repro.experiments serve [--snapshot DIR] [--workers N]
+                                      [--host H] [--port P] [--qos S]
 
 ``experiment-id`` is one of the keys of :data:`repro.experiments.EXPERIMENTS`
 (``table1``, ``exp1`` … ``exp9``, ``ablations``) or ``all``.  The driver's rows
@@ -394,6 +396,152 @@ def _cluster_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Expose a serving engine (single-process or sharded "
+        "cluster) over the asyncio network query plane (repro.server).",
+    )
+    parser.add_argument(
+        "--snapshot",
+        default=None,
+        help="snapshot directory to warm-start from (default: build --method "
+        "on --dataset in-process first)",
+    )
+    parser.add_argument(
+        "--method", default="PMHL", help="registered method name (when building)"
+    )
+    parser.add_argument(
+        "--dataset", default="NY", help="synthetic dataset name (when building)"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 binds an ephemeral port and prints it)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="shard process count; 0 serves from a single-process "
+        "ServingEngine, >=1 from a ClusterEngine over the snapshot",
+    )
+    parser.add_argument(
+        "--qos", type=float, default=None,
+        help="response QoS bound in seconds (enables Lemma-1 admission -> "
+        "RETRY backpressure frames)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="global in-flight request cap before RETRY frames",
+    )
+    parser.add_argument(
+        "--max-inflight-per-conn", type=int, default=16,
+        help="per-connection in-flight cap (a slow client only saturates itself)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds then drain (default: until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--announce", default=None, metavar="FILE",
+        help="write 'host port' to FILE once listening (for scripts/tests)",
+    )
+    return parser
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+
+    import asyncio
+    import contextlib
+    import tempfile
+
+    from repro.server import QueryServer
+
+    async def _run(backend) -> None:
+        server = QueryServer(
+            backend,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_inflight_per_connection=args.max_inflight_per_conn,
+        )
+        await server.start()
+        host, port = server.address
+        print(f"serving on {host}:{port} (drain with Ctrl-C)", flush=True)
+        if args.announce:
+            with open(args.announce, "w") as handle:
+                handle.write(f"{host} {port}\n")
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:  # pragma: no cover - interactive path
+                await asyncio.Event().wait()
+        finally:
+            print("draining...", flush=True)
+            await server.stop()
+            stats = server.stats()
+            print(
+                f"served {stats['requests_total']} requests "
+                f"({stats['retries_total']} retries, "
+                f"{stats['errors_total']} errors) over "
+                f"{stats['connections_total']} connections"
+            )
+
+    with contextlib.ExitStack() as stack:
+        snapshot = args.snapshot
+        if snapshot is None and args.workers > 0:
+            # The cluster warm-starts its shards from disk, so build once and
+            # snapshot into a scratch directory first.
+            scratch = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro_serve_")
+            )
+            snapshot = f"{scratch}/gen-000000"
+            _build_snapshot(args.method, args.dataset, snapshot)
+
+        if args.workers > 0:
+            from repro.cluster import ClusterEngine
+
+            backend = ClusterEngine(
+                snapshot, num_workers=args.workers, response_qos=args.qos
+            )
+        elif snapshot is not None:
+            from repro.serving.engine import ServingEngine
+
+            backend = ServingEngine.from_snapshot(snapshot, response_qos=args.qos)
+        else:
+            from repro.graph.generators import load_dataset
+            from repro.registry import create_index, spec_from_config
+            from repro.serving.engine import ServingEngine
+
+            graph = load_dataset(args.dataset)
+            index = create_index(spec_from_config(args.method, DEFAULT_CONFIG), graph)
+            print(
+                f"building {args.method} on {args.dataset} "
+                f"(n={graph.num_vertices})...", flush=True,
+            )
+            index.build()
+            backend = ServingEngine(index, response_qos=args.qos)
+        stack.enter_context(backend)
+
+        try:
+            asyncio.run(_run(backend))
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+    return 0
+
+
+def _build_snapshot(method: str, dataset: str, path: str) -> None:
+    from repro.graph.generators import load_dataset
+    from repro.registry import create_index, spec_from_config
+    from repro.store import save_index
+
+    graph = load_dataset(dataset)
+    index = create_index(spec_from_config(method, DEFAULT_CONFIG), graph)
+    print(f"building {method} on {dataset} (n={graph.num_vertices})...", flush=True)
+    index.build()
+    save_index(index, path, atomic=True, generation=0)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -404,6 +552,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _obs_main(argv[1:])
     if argv and argv[0] == "cluster":
         return _cluster_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.cache_dir:

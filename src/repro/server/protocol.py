@@ -1,0 +1,190 @@
+"""Wire protocol of the network query plane.
+
+Every message — request or response — is one **frame**::
+
+    +----------------+---------+------+-----------+------------------+
+    | length u32 BE  | version | op   | seq u32BE | payload (JSON)   |
+    +----------------+---------+------+-----------+------------------+
+         4 bytes        1 byte  1 byte   4 bytes     length-6 bytes
+
+``length`` counts every byte after the prefix (so the minimum legal value is
+6: version + op + seq with an empty payload).  ``version`` is the protocol
+version byte (:data:`PROTOCOL_VERSION`); a mismatch yields a typed
+``bad_version`` ERROR frame and the connection closes.  ``seq`` is the
+client-chosen request id, echoed verbatim in the response frame, which is
+what lets a client pipeline many requests over one connection and match
+out-of-order completions.  The payload is UTF-8 JSON (the stdlib codec —
+``Infinity`` round-trips, so unreachable distances survive the wire
+bit-for-bit).
+
+Request ops: :data:`OP_QUERY`, :data:`OP_QUERY_BATCH`, :data:`OP_ONE_TO_MANY`,
+:data:`OP_APPLY_BATCH`, :data:`OP_STATS`, :data:`OP_PING`.  Response ops:
+
+* :data:`OP_RESULT` — success, payload is the operation's result object;
+* :data:`OP_ERROR` — typed failure, payload ``{"code", "message"}``;
+* :data:`OP_RETRY` — backpressure (the HTTP-429 analogue), payload
+  ``{"reason", "queue_depth", "suggested_wait_seconds"}``.
+
+Framing errors raise the typed exceptions from :mod:`repro.exceptions`
+(:class:`~repro.exceptions.ProtocolError` /
+:class:`~repro.exceptions.ProtocolVersionError` /
+:class:`~repro.exceptions.FrameTooLargeError`); each carries whether the
+stream is still in sync (``recoverable``) so the server knows to answer and
+continue versus answer and close.  See DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import (
+    FrameTooLargeError,
+    ProtocolError,
+    ProtocolVersionError,
+)
+
+#: Protocol version byte this build speaks.
+PROTOCOL_VERSION = 1
+
+#: Bytes of the length prefix.
+HEADER_BYTES = 4
+#: Fixed body bytes after the prefix: version + op + seq.
+FIXED_BODY_BYTES = 6
+#: Default cap on ``length`` — a defence against hostile or corrupt prefixes.
+DEFAULT_MAX_FRAME_BYTES = 8 * 2**20
+
+# Request op codes.
+OP_QUERY = 0x01
+OP_QUERY_BATCH = 0x02
+OP_ONE_TO_MANY = 0x03
+OP_APPLY_BATCH = 0x04
+OP_STATS = 0x05
+OP_PING = 0x06
+
+# Response op codes (high bit set).
+OP_RESULT = 0x81
+OP_ERROR = 0x82
+OP_RETRY = 0x83
+
+REQUEST_OPS = frozenset(
+    (OP_QUERY, OP_QUERY_BATCH, OP_ONE_TO_MANY, OP_APPLY_BATCH, OP_STATS, OP_PING)
+)
+RESPONSE_OPS = frozenset((OP_RESULT, OP_ERROR, OP_RETRY))
+
+OP_NAMES = {
+    OP_QUERY: "query",
+    OP_QUERY_BATCH: "query_batch",
+    OP_ONE_TO_MANY: "one_to_many",
+    OP_APPLY_BATCH: "apply_batch",
+    OP_STATS: "stats",
+    OP_PING: "ping",
+    OP_RESULT: "result",
+    OP_ERROR: "error",
+    OP_RETRY: "retry",
+}
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: operation, request id, JSON payload (or ``None``)."""
+
+    op: int
+    seq: int
+    payload: Optional[object] = None
+
+    @property
+    def op_name(self) -> str:
+        return OP_NAMES.get(self.op, f"op_{self.op:#x}")
+
+
+def encode_frame(
+    op: int,
+    seq: int,
+    payload: Optional[object] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """Serialize one frame to wire bytes."""
+    if not 0 <= op <= 0xFF:
+        raise ProtocolError(f"op code {op} does not fit one byte")
+    if not 0 <= seq <= 0xFFFFFFFF:
+        raise ProtocolError(f"seq {seq} does not fit u32")
+    body = b"" if payload is None else json.dumps(payload, separators=(",", ":")).encode()
+    length = FIXED_BODY_BYTES + len(body)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(length, max_frame_bytes)
+    return b"".join(
+        (
+            length.to_bytes(HEADER_BYTES, "big"),
+            bytes((PROTOCOL_VERSION, op)),
+            seq.to_bytes(4, "big"),
+            body,
+        )
+    )
+
+
+def decode_body(body: bytes) -> Frame:
+    """Decode the post-prefix bytes of one frame (validates version + JSON)."""
+    if len(body) < FIXED_BODY_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes is shorter than the "
+            f"{FIXED_BODY_BYTES}-byte fixed header"
+        )
+    version = body[0]
+    if version != PROTOCOL_VERSION:
+        raise ProtocolVersionError(version, PROTOCOL_VERSION)
+    op = body[1]
+    seq = int.from_bytes(body[2:6], "big")
+    raw = body[FIXED_BODY_BYTES:]
+    if not raw:
+        return Frame(op, seq, None)
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        # The frame boundary itself was intact, so the stream is still in
+        # sync — the server can answer a typed error and keep the connection.
+        raise ProtocolError(
+            f"frame payload is not valid JSON: {exc}",
+            code="bad_payload",
+            seq=seq,
+            recoverable=True,
+        ) from None
+    return Frame(op, seq, payload)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Frame:
+    """Read one frame; raises the typed protocol errors on malformed input.
+
+    A peer that disconnects between frames surfaces as
+    :class:`asyncio.IncompleteReadError` with no partial bytes; mid-frame
+    truncation surfaces as the same exception with ``partial`` set — both are
+    a *clean close* for the caller, never a hang (the reader returns EOF).
+    """
+    header = await reader.readexactly(HEADER_BYTES)
+    length = int.from_bytes(header, "big")
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(length, max_frame_bytes)
+    if length < FIXED_BODY_BYTES:
+        raise ProtocolError(
+            f"frame length {length} is shorter than the {FIXED_BODY_BYTES}-byte "
+            "fixed header"
+        )
+    body = await reader.readexactly(length)
+    return decode_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    op: int,
+    seq: int,
+    payload: Optional[object] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Encode and send one frame, waiting for the transport to drain."""
+    writer.write(encode_frame(op, seq, payload, max_frame_bytes))
+    await writer.drain()

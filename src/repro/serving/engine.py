@@ -238,6 +238,11 @@ class ServingEngine:
     def current_epoch(self) -> int:
         return self._epoch
 
+    @property
+    def graph(self) -> Graph:
+        """The live served graph (the index's graph at the current epoch)."""
+        return self.index.graph
+
     def export_snapshot(
         self, path: str, timeout: Optional[float] = None, **save_kwargs
     ) -> int:
@@ -522,6 +527,22 @@ class ServingEngine:
     def query_batch(self, pairs: Iterable[QueryPair]) -> List[float]:
         """Distance-only convenience wrapper around :meth:`serve_batch`."""
         return [result.distance for result in self.serve_batch(pairs)]
+
+    def serve_one_to_many(
+        self, source: int, targets: Iterable[int]
+    ) -> List[QueryResult]:
+        """Serve one source against many targets at a single epoch.
+
+        Rides the batch plane: :meth:`serve_batch` routes same-source pairs
+        through :meth:`~repro.base.DistanceIndex.query_many`, whose
+        source-grouped dispatch amortises into the index's native
+        one-to-many path.
+        """
+        return self.serve_batch([(source, target) for target in targets])
+
+    def query_one_to_many(self, source: int, targets: Iterable[int]) -> List[float]:
+        """Distance-only convenience wrapper around :meth:`serve_one_to_many`."""
+        return [result.distance for result in self.serve_one_to_many(source, targets)]
 
     def _dispatch_batch(
         self, pair_list: List[QueryPair], started: float

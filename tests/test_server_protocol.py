@@ -1,0 +1,445 @@
+"""Protocol-level tests of the network query plane: codec + malformed-frame fuzz.
+
+The fuzz classes drive seeded random malformed bytes at a live server —
+truncated length prefixes, oversized lengths, bad version bytes, garbage
+payloads, mid-frame disconnects, and fully random streams — and assert the
+contract from ISSUE/DESIGN §12: every malformed input yields a *typed error
+frame* or a *clean connection close*, never a crash and never a hang (each
+scenario re-verifies the server still answers on a fresh connection, and
+every await sits under a hard timeout).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import random
+
+import pytest
+
+from repro.exceptions import (
+    FrameTooLargeError,
+    ProtocolError,
+    ProtocolVersionError,
+)
+from repro.registry import create_index
+from repro.serving.engine import ServingEngine
+from repro.server import AsyncClient
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FIXED_BODY_BYTES,
+    OP_APPLY_BATCH,
+    OP_ERROR,
+    OP_ONE_TO_MANY,
+    OP_PING,
+    OP_QUERY,
+    OP_QUERY_BATCH,
+    OP_RESULT,
+    OP_RETRY,
+    PROTOCOL_VERSION,
+    decode_body,
+    encode_frame,
+    read_frame,
+)
+
+from tests.conftest import paper_example_graph
+from tests.server_harness import (
+    close_writer,
+    drain_frames,
+    open_raw,
+    run,
+    running_server,
+)
+
+FUZZ_SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """One started single-process engine shared by every protocol test."""
+    index = create_index("BiDijkstra", paper_example_graph())
+    index.build()
+    with ServingEngine(index, cache_capacity=0) as running:
+        yield running
+
+
+def make_body(op: int, seq: int, raw_payload: bytes, version: int = PROTOCOL_VERSION):
+    return bytes((version, op)) + seq.to_bytes(4, "big") + raw_payload
+
+
+def make_frame(op: int, seq: int, raw_payload: bytes, version: int = PROTOCOL_VERSION):
+    body = make_body(op, seq, raw_payload, version)
+    return len(body).to_bytes(4, "big") + body
+
+
+async def assert_alive(server) -> None:
+    """The liveness probe every fuzz scenario ends with."""
+    client = await AsyncClient.connect(*server.address)
+    try:
+        assert await client.ping() >= 0
+    finally:
+        await client.close()
+
+
+# ----------------------------------------------------------------------
+# Codec unit tests
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_roundtrip_simple(self):
+        payload = {"source": 3, "target": 9}
+        frame = decode_body(encode_frame(OP_QUERY, 17, payload)[4:])
+        assert (frame.op, frame.seq, frame.payload) == (OP_QUERY, 17, payload)
+
+    def test_roundtrip_empty_payload(self):
+        frame = decode_body(encode_frame(OP_PING, 1)[4:])
+        assert frame.op == OP_PING and frame.seq == 1 and frame.payload is None
+
+    def test_roundtrip_infinity_distance(self):
+        # Unreachable pairs serve as inf; the stdlib JSON codec round-trips it.
+        frame = decode_body(encode_frame(OP_RESULT, 2, {"distance": math.inf})[4:])
+        assert frame.payload["distance"] == math.inf
+
+    def test_seq_echo_bounds(self):
+        frame = decode_body(encode_frame(OP_PING, 2**32 - 1)[4:])
+        assert frame.seq == 2**32 - 1
+        with pytest.raises(ProtocolError):
+            encode_frame(OP_PING, 2**32)
+        with pytest.raises(ProtocolError):
+            encode_frame(0x1FF, 1)
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame(OP_QUERY, 1, {"blob": "x" * 64}, max_frame_bytes=32)
+
+    def test_decode_body_too_short(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_body(b"\x01\x01")
+        assert not excinfo.value.recoverable
+
+    def test_decode_bad_version(self):
+        with pytest.raises(ProtocolVersionError) as excinfo:
+            decode_body(make_body(OP_PING, 1, b"", version=9))
+        assert excinfo.value.code == "bad_version"
+        assert excinfo.value.found == 9
+
+    def test_decode_garbage_json_is_recoverable_with_seq(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_body(make_body(OP_QUERY, 77, b"\xff\x00not-json"))
+        assert excinfo.value.code == "bad_payload"
+        assert excinfo.value.seq == 77
+        assert excinfo.value.recoverable
+
+    def test_read_frame_concatenated_stream(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(OP_PING, 1))
+            reader.feed_data(encode_frame(OP_QUERY, 2, {"source": 0, "target": 1}))
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            assert (first.op, first.seq) == (OP_PING, 1)
+            assert (second.op, second.seq) == (OP_QUERY, 2)
+
+        run(main())
+
+    def test_read_frame_oversized_prefix(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data((DEFAULT_MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            reader.feed_eof()
+            with pytest.raises(FrameTooLargeError):
+                await read_frame(reader)
+
+        run(main())
+
+    def test_read_frame_truncated_raises_incomplete(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data((20).to_bytes(4, "big") + b"\x01\x01abc")
+            reader.feed_eof()
+            with pytest.raises(asyncio.IncompleteReadError):
+                await read_frame(reader)
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Seeded malformed-frame fuzz against a live server
+# ----------------------------------------------------------------------
+class TestMalformedFrames:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_truncated_length_prefix_clean_close(self, engine, seed):
+        async def main():
+            async with running_server(engine) as server:
+                rng = random.Random(seed)
+                reader, writer = await open_raw(server)
+                writer.write(rng.randbytes(rng.randint(1, 3)))
+                writer.write_eof()
+                assert await drain_frames(reader) == []  # clean close, no crash
+                await close_writer(writer)
+                await assert_alive(server)
+
+        run(main())
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_oversized_length_prefix_typed_error(self, engine, seed):
+        async def main():
+            async with running_server(engine) as server:
+                rng = random.Random(seed)
+                length = DEFAULT_MAX_FRAME_BYTES + rng.randint(1, 2**24)
+                reader, writer = await open_raw(server)
+                writer.write(length.to_bytes(4, "big") + rng.randbytes(16))
+                await writer.drain()
+                frames = await drain_frames(reader)
+                assert [f.op for f in frames] == [OP_ERROR]
+                assert frames[0].payload["code"] == "frame_too_large"
+                await close_writer(writer)
+                await assert_alive(server)
+
+        run(main())
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_bad_version_byte_typed_error(self, engine, seed):
+        async def main():
+            async with running_server(engine) as server:
+                rng = random.Random(seed)
+                version = rng.choice([0] + list(range(2, 256)))
+                reader, writer = await open_raw(server)
+                writer.write(make_frame(OP_PING, 5, b"", version=version))
+                await writer.drain()
+                frames = await drain_frames(reader)
+                assert [f.op for f in frames] == [OP_ERROR]
+                assert frames[0].payload["code"] == "bad_version"
+                await close_writer(writer)
+                await assert_alive(server)
+
+        run(main())
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_garbage_payload_typed_error_keeps_connection(self, engine, seed):
+        async def main():
+            async with running_server(engine) as server:
+                rng = random.Random(seed)
+                garbage = rng.randbytes(rng.randint(1, 64))
+                seq = rng.randint(1, 2**31)
+                reader, writer = await open_raw(server)
+                writer.write(make_frame(OP_QUERY, seq, garbage))
+                # The stream stayed in sync, so the same connection must
+                # still answer a valid request afterwards.
+                writer.write(make_frame(OP_PING, seq + 1, b""))
+                await writer.drain()
+                error = await read_frame(reader)
+                assert error.op == OP_ERROR
+                assert error.payload["code"] == "bad_payload"
+                assert error.seq == seq
+                pong = await read_frame(reader)
+                assert pong.op == OP_RESULT and pong.seq == seq + 1
+                await close_writer(writer)
+                await assert_alive(server)
+
+        run(main())
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_mid_frame_disconnect_clean_close(self, engine, seed):
+        async def main():
+            async with running_server(engine) as server:
+                rng = random.Random(seed)
+                claimed = rng.randint(FIXED_BODY_BYTES + 10, 4096)
+                sent = rng.randint(1, claimed - 1)
+                reader, writer = await open_raw(server)
+                writer.write(claimed.to_bytes(4, "big") + rng.randbytes(sent))
+                writer.write_eof()
+                assert await drain_frames(reader) == []
+                await close_writer(writer)
+                await assert_alive(server)
+
+        run(main())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_garbage_stream_never_crashes(self, engine, seed):
+        async def main():
+            async with running_server(engine) as server:
+                rng = random.Random(1000 + seed)
+                reader, writer = await open_raw(server)
+                writer.write(rng.randbytes(rng.randint(1, 512)))
+                writer.write_eof()
+                frames = await drain_frames(reader)
+                # Typed error frames or a clean close — nothing else.
+                assert all(f.op in (OP_ERROR, OP_RETRY) for f in frames)
+                await close_writer(writer)
+                await assert_alive(server)
+
+        run(main())
+
+    def test_fuzz_barrage_on_one_connection(self, engine):
+        """Alternate malformed and valid frames until the server closes us;
+        every response is typed, and the server survives the whole barrage."""
+
+        async def main():
+            async with running_server(engine) as server:
+                rng = random.Random(99)
+                reader, writer = await open_raw(server)
+                for index in range(20):
+                    kind = rng.randrange(3)
+                    if kind == 0:
+                        writer.write(make_frame(OP_QUERY, index + 1, rng.randbytes(8)))
+                    elif kind == 1:
+                        payload = json.dumps({"source": 0, "target": 7}).encode()
+                        writer.write(make_frame(OP_QUERY, index + 1, payload))
+                    else:
+                        writer.write(make_frame(rng.randint(0x20, 0x7F), index + 1, b"{}"))
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        break
+                writer.write_eof()
+                frames = await drain_frames(reader)
+                assert frames, "server answered nothing on a syncable stream"
+                assert all(f.op in (OP_RESULT, OP_ERROR, OP_RETRY) for f in frames)
+                await close_writer(writer)
+                await assert_alive(server)
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Typed request-level errors (well-formed frames, bad content)
+# ----------------------------------------------------------------------
+BAD_PAYLOADS = [
+    (OP_QUERY, None, "bad_payload"),
+    (OP_QUERY, {"source": 0}, "bad_payload"),
+    (OP_QUERY, {"source": "a", "target": 1}, "bad_payload"),
+    (OP_QUERY, {"source": True, "target": 1}, "bad_payload"),
+    (OP_QUERY_BATCH, {"pairs": []}, "bad_payload"),
+    (OP_QUERY_BATCH, {"pairs": [[1, 2, 3]]}, "bad_payload"),
+    (OP_QUERY_BATCH, {"pairs": "nope"}, "bad_payload"),
+    (OP_ONE_TO_MANY, {"source": 0, "targets": []}, "bad_payload"),
+    (OP_ONE_TO_MANY, {"source": 0, "targets": [1, "x"]}, "bad_payload"),
+    (OP_APPLY_BATCH, {"updates": [[0, 8, 6.0]]}, "bad_payload"),
+    (OP_APPLY_BATCH, {"updates": [[0, 8, "w", 3.0]]}, "bad_payload"),
+    (OP_APPLY_BATCH, {}, "bad_payload"),
+]
+
+
+class TestTypedRequestErrors:
+    @pytest.mark.parametrize(
+        "op,payload,code",
+        BAD_PAYLOADS,
+        ids=[f"case{i}" for i in range(len(BAD_PAYLOADS))],
+    )
+    def test_bad_payload_shapes(self, engine, op, payload, code):
+        async def main():
+            async with running_server(engine) as server:
+                reader, writer = await open_raw(server)
+                raw = b"" if payload is None else json.dumps(payload).encode()
+                writer.write(make_frame(op, 3, raw))
+                writer.write(make_frame(OP_PING, 4, b""))
+                await writer.drain()
+                # Responses may interleave (pings answer inline, errors via
+                # the task path) — match by echoed seq, not arrival order.
+                by_seq = {}
+                for _ in range(2):
+                    frame = await read_frame(reader)
+                    by_seq[frame.seq] = frame
+                assert by_seq[3].op == OP_ERROR
+                assert by_seq[3].payload["code"] == code
+                assert by_seq[4].op == OP_RESULT  # connection still usable
+                await close_writer(writer)
+
+        run(main())
+
+    def test_unknown_op_typed_error(self, engine):
+        async def main():
+            async with running_server(engine) as server:
+                reader, writer = await open_raw(server)
+                writer.write(make_frame(0x55, 9, b"{}"))
+                await writer.drain()
+                error = await read_frame(reader)
+                assert error.op == OP_ERROR and error.seq == 9
+                assert error.payload["code"] == "unknown_op"
+                await close_writer(writer)
+
+        run(main())
+
+    def test_zero_length_frame_rejected(self, engine):
+        async def main():
+            async with running_server(engine) as server:
+                reader, writer = await open_raw(server)
+                writer.write((0).to_bytes(4, "big"))
+                await writer.drain()
+                frames = await drain_frames(reader)
+                assert [f.op for f in frames] == [OP_ERROR]
+                assert frames[0].payload["code"] == "malformed_frame"
+                await close_writer(writer)
+                await assert_alive(server)
+
+        run(main())
+
+    def test_vertex_not_found(self, engine):
+        async def main():
+            async with running_server(engine) as server:
+                client = await AsyncClient.connect(*server.address)
+                try:
+                    from repro.exceptions import RemoteServerError
+
+                    with pytest.raises(RemoteServerError) as excinfo:
+                        await client.query(0, 999_999)
+                    assert excinfo.value.code == "vertex_not_found"
+                    # Typed failure, connection intact.
+                    assert (await client.query(0, 7)).distance == 16.0
+                finally:
+                    await client.close()
+
+        run(main())
+
+    def test_apply_batch_unknown_edge_typed_error(self, engine):
+        async def main():
+            async with running_server(engine) as server:
+                client = await AsyncClient.connect(*server.address)
+                try:
+                    from repro.exceptions import RemoteServerError
+
+                    with pytest.raises(RemoteServerError) as excinfo:
+                        await client.apply_batch([(0, 13, 1.0, 2.0)])
+                    assert excinfo.value.code == "edge_not_found"
+                finally:
+                    await client.close()
+
+        run(main())
+
+    def test_apply_batch_invalid_weight_typed_error(self, engine):
+        async def main():
+            async with running_server(engine) as server:
+                client = await AsyncClient.connect(*server.address)
+                try:
+                    from repro.exceptions import RemoteServerError
+
+                    with pytest.raises(RemoteServerError) as excinfo:
+                        await client.apply_batch([(0, 8, 6.0, -1.0)])
+                    assert excinfo.value.code == "invalid_weight"
+                finally:
+                    await client.close()
+
+        run(main())
+
+    def test_apply_on_stopped_engine_typed_error(self):
+        index = create_index("BiDijkstra", paper_example_graph())
+        index.build()
+        stopped = ServingEngine(index, cache_capacity=0)  # never started
+
+        async def main():
+            async with running_server(stopped) as server:
+                client = await AsyncClient.connect(*server.address)
+                try:
+                    from repro.exceptions import RemoteServerError
+
+                    with pytest.raises(RemoteServerError) as excinfo:
+                        await client.apply_batch([(0, 8, 6.0, 3.0)])
+                    assert excinfo.value.code == "engine_stopped"
+                    # Queries need no maintenance worker — still served.
+                    assert (await client.query(0, 9)).distance == 2.0
+                finally:
+                    await client.close()
+
+        run(main())
